@@ -1,0 +1,46 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench figures examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper plus the extension/sweep tables.
+figures:
+	$(GO) run ./cmd/kenbench -all -test 5000
+	$(GO) run ./cmd/kenbench -fig 15 -test 900
+	$(GO) run ./cmd/kenbench -fig 16 -test 1500
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/redwood
+	$(GO) run ./examples/anomaly
+	$(GO) run ./examples/lossy
+	$(GO) run ./examples/lifetime
+	$(GO) run ./examples/streaming
+	$(GO) run ./examples/pullquery
+	$(GO) run ./examples/analysis
+
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzReadCSVMatrix -fuzztime 30s ./internal/trace/
+
+clean:
+	$(GO) clean -testcache

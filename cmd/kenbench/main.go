@@ -1,0 +1,91 @@
+// Command kenbench regenerates the figures of the Ken paper's evaluation
+// (ICDE'06 §5) over the synthetic Lab and Garden deployments.
+//
+// Usage:
+//
+//	kenbench -fig 9              # one figure (7, 8, 9, 10, 11, 12, 13, 14)
+//	kenbench -all                # every figure
+//	kenbench -all -test 5000     # paper-scale test window (5000 hours)
+//	kenbench -fig 9 -quick       # tiny configuration for smoke tests
+//
+// Output is one text table per figure, with the same rows/series the paper
+// plots and notes describing the expected shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ken/internal/bench"
+)
+
+var runners = []struct {
+	num int
+	fn  func(bench.Config) (*bench.Table, error)
+}{
+	{7, bench.Fig7},
+	{8, bench.Fig8},
+	{9, bench.Fig9},
+	{10, bench.Fig10},
+	{11, bench.Fig11},
+	{12, bench.Fig12},
+	{13, bench.Fig13},
+	{14, bench.Fig14},
+	// 15 and 16 are not paper figures: they regenerate the beyond-the-paper
+	// extension results and the §5.1 ε / sampling-rate sweeps recorded in
+	// EXPERIMENTS.md.
+	{15, bench.Extensions},
+	{16, bench.Sweeps},
+}
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (7-14; 15 = extensions, 16 = sweeps)")
+	all := flag.Bool("all", false, "regenerate every figure")
+	quick := flag.Bool("quick", false, "use the tiny smoke-test configuration")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
+	seed := flag.Int64("seed", 1, "trace generation seed")
+	train := flag.Int("train", 100, "training steps (hours)")
+	test := flag.Int("test", 1500, "test steps (hours); the paper uses 5000")
+	flag.Parse()
+
+	cfg := bench.Config{Seed: *seed, TrainSteps: *train, TestSteps: *test}
+	if *quick {
+		cfg = bench.Quick()
+		cfg.Seed = *seed
+	}
+
+	if !*all && *fig == 0 {
+		fmt.Fprintln(os.Stderr, "kenbench: pass -fig N or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ran := false
+	for _, r := range runners {
+		if !*all && r.num != *fig {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		t, err := r.fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kenbench: figure %d: %v\n", r.num, err)
+			os.Exit(1)
+		}
+		write := t.WriteTo
+		if *markdown {
+			write = t.WriteMarkdown
+		}
+		if _, err := write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "kenbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(figure %d regenerated in %v)\n\n", r.num, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "kenbench: unknown figure %d (have 7-16)\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,162 @@
+// Command kennet runs distributed data-collection programs on the
+// packet-level network simulator: hop-by-hop forwarding, per-byte radio
+// energy, batteries, loss and route repair. It reports communication,
+// energy, lifetime and answer quality — the deployment-facing counterpart
+// of kensim's protocol-level accounting.
+//
+// Usage:
+//
+//	kennet -program ken -steps 2160 -battery 0.35
+//	kennet -program tinydb -loss 0.1
+//	kennet -program avg -dataset garden -topology chain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ken/internal/cliques"
+	"ken/internal/model"
+	"ken/internal/network"
+	"ken/internal/simnet"
+	"ken/internal/trace"
+)
+
+func main() {
+	program := flag.String("program", "ken", "node program: ken, tinydb or avg")
+	dataset := flag.String("dataset", "garden", "deployment: garden or lab")
+	topology := flag.String("topology", "chain", "topology: chain (multi-hop) or star (single-hop)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	train := flag.Int("train", 100, "training steps (hours)")
+	steps := flag.Int("steps", 2160, "epochs to simulate")
+	battery := flag.Float64("battery", 0.35, "battery Joules per node")
+	loss := flag.Float64("loss", 0, "per-hop message loss probability")
+	k := flag.Int("k", 2, "clique size for the ken program (adjacent pairs when 2)")
+	flag.Parse()
+
+	if err := run(*program, *dataset, *topology, *seed, *train, *steps, *battery, *loss, *k); err != nil {
+		fmt.Fprintf(os.Stderr, "kennet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(program, dataset, topology string, seed int64, trainN, steps int, battery, loss float64, k int) error {
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	switch dataset {
+	case "garden":
+		tr, err = trace.GenerateGarden(seed, trainN+steps)
+	case "lab":
+		tr, err = trace.GenerateLab(seed, trainN+steps)
+	default:
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if err != nil {
+		return err
+	}
+	rows, err := tr.Rows(trace.Temperature)
+	if err != nil {
+		return err
+	}
+	n := tr.Deployment.N()
+	train, test := rows[:trainN], rows[trainN:]
+	eps := make([]float64, n)
+	for i := range eps {
+		eps[i] = trace.Temperature.DefaultEpsilon()
+	}
+
+	var links []network.Link
+	switch topology {
+	case "chain":
+		for i := 0; i < n; i++ {
+			links = append(links, network.Link{U: i, V: i + 1, Cost: 1})
+		}
+	case "star":
+		for i := 0; i < n; i++ {
+			links = append(links, network.Link{U: i, V: n, Cost: 1})
+			for j := i + 1; j < n; j++ {
+				links = append(links, network.Link{U: i, V: j, Cost: 1})
+			}
+		}
+	default:
+		return fmt.Errorf("unknown topology %q", topology)
+	}
+	top, err := network.New(n, links)
+	if err != nil {
+		return err
+	}
+
+	radio := simnet.DefaultRadio()
+	radio.BatteryJ = battery
+	radio.IdlePerEpoch = 2e-5
+	radio.LossRate = loss
+	net, err := simnet.New(top, radio, seed)
+	if err != nil {
+		return err
+	}
+
+	var prog simnet.Program
+	switch program {
+	case "tinydb":
+		prog, err = simnet.NewDistributedTinyDB(net, eps)
+	case "avg":
+		prog, err = simnet.NewDistributedAverage(net, train, eps, model.FitConfig{Period: 24})
+	case "ken":
+		part := &cliques.Partition{}
+		for i := 0; i < n; i += k {
+			hi := i + k
+			if hi > n {
+				hi = n
+			}
+			members := make([]int, 0, k)
+			for j := i; j < hi; j++ {
+				members = append(members, j)
+			}
+			// Root at the member nearest the base (highest index on the
+			// chain).
+			part.Cliques = append(part.Cliques, cliques.Clique{
+				Members: members, Root: members[len(members)-1]})
+		}
+		prog, err = simnet.NewDistributedKen(net, part, train, eps, model.FitConfig{Period: 24})
+	default:
+		return fmt.Errorf("unknown program %q", program)
+	}
+	if err != nil {
+		return err
+	}
+
+	delivered, violations := 0, 0
+	firstDeath := -1
+	for t, row := range test {
+		res, err := prog.Epoch(row)
+		if err != nil {
+			return err
+		}
+		delivered += res.ValuesDelivered
+		violations += res.Violations
+		if firstDeath < 0 && net.AliveCount() < n {
+			firstDeath = t + 1
+		}
+	}
+	st := net.Stats()
+
+	fmt.Printf("program        %s on %s/%s (%d nodes, %d epochs)\n", program, dataset, topology, n, len(test))
+	fmt.Printf("radio          battery %.3g J, loss %.0f%%\n", battery, 100*loss)
+	if firstDeath > 0 {
+		fmt.Printf("first death    epoch %d\n", firstDeath)
+	} else {
+		fmt.Printf("first death    none (all %d nodes alive)\n", net.AliveCount())
+	}
+	fmt.Printf("alive at end   %d/%d\n", net.AliveCount(), n)
+	fmt.Printf("values at base %d of %d (%.1f%%)\n", delivered, len(test)*n,
+		100*float64(delivered)/float64(len(test)*n))
+	fmt.Printf("stale answers  %d of %d readings (%.2f%%)\n", violations, len(test)*n,
+		100*float64(violations)/float64(len(test)*n))
+	fmt.Printf("link messages  %d (%d bytes, %d lost, %d unroutable)\n",
+		st.MessagesSent, st.BytesSent, st.DroppedLoss, st.DroppedNoPath)
+	fmt.Printf("energy spent   %.3f J across the network\n", st.EnergySpent)
+	return nil
+}

@@ -1,0 +1,239 @@
+// Command kensim runs a single Ken data-collection simulation: it generates
+// a deployment trace, fits models on the training prefix, selects a
+// Disjoint-Cliques partition with Greedy-k, replays the chosen scheme over
+// the test window, and reports savings, cost and the error guarantee.
+//
+// Usage:
+//
+//	kensim -dataset garden -scheme djc -k 3
+//	kensim -dataset lab -scheme apc -test 2000
+//	kensim -dataset garden -scheme djc -k 2 -base 5     # topology-priced run
+//	kensim -dataset garden -scheme avg
+//	kensim -dataset garden -scheme all                  # side-by-side comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ken/internal/cliques"
+	"ken/internal/core"
+	"ken/internal/mc"
+	"ken/internal/model"
+	"ken/internal/network"
+	"ken/internal/trace"
+)
+
+func main() {
+	dataset := flag.String("dataset", "garden", "deployment: garden or lab")
+	scheme := flag.String("scheme", "djc", "scheme: tinydb, apc, avg or djc")
+	k := flag.Int("k", 3, "max clique size for the djc scheme")
+	seed := flag.Int64("seed", 1, "generator seed")
+	train := flag.Int("train", 100, "training steps (hours)")
+	test := flag.Int("test", 1500, "test steps (hours)")
+	base := flag.Float64("base", 0, "base-station cost multiplier; 0 = topology-independent accounting")
+	eps := flag.Float64("eps", 0, "error bound override; 0 = attribute default (0.5°C)")
+	loss := flag.Float64("loss", 0, "report loss probability (djc only; enables the §6 lossy mode)")
+	heartbeat := flag.Int("heartbeat", 0, "heartbeat interval in steps under -loss (0 = none)")
+	prob := flag.Float64("prob", 0, "probabilistic-reporting steepness (djc only; 0 = deterministic)")
+	flag.Parse()
+
+	if err := run(*dataset, *scheme, *k, *seed, *train, *test, *base, *eps, *loss, *heartbeat, *prob); err != nil {
+		fmt.Fprintf(os.Stderr, "kensim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, scheme string, k int, seed int64, trainN, testN int, baseMult, epsOverride, loss float64, heartbeat int, prob float64) error {
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	switch dataset {
+	case "garden":
+		tr, err = trace.GenerateGarden(seed, trainN+testN)
+	case "lab":
+		tr, err = trace.GenerateLab(seed, trainN+testN)
+	default:
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if err != nil {
+		return err
+	}
+	rows, err := tr.Rows(trace.Temperature)
+	if err != nil {
+		return err
+	}
+	n := tr.Deployment.N()
+	train, test := rows[:trainN], rows[trainN:]
+	eps := make([]float64, n)
+	for i := range eps {
+		eps[i] = trace.Temperature.DefaultEpsilon()
+		if epsOverride > 0 {
+			eps[i] = epsOverride
+		}
+	}
+
+	var top *network.Topology
+	if baseMult > 0 {
+		top, err = network.Uniform(n, 1, baseMult)
+		if err != nil {
+			return err
+		}
+	}
+
+	if scheme == "all" {
+		return compareAll(tr, train, test, eps, k, seed, top)
+	}
+
+	var s core.Scheme
+	switch scheme {
+	case "tinydb":
+		s, err = core.NewTinyDB(n, top)
+	case "apc":
+		s, err = core.NewCache(eps, top)
+	case "avg":
+		s, err = core.NewAverage(train, eps, model.FitConfig{Period: 24}, top)
+	case "djc":
+		s, err = buildDjC(tr, train, eps, k, seed, top, loss, heartbeat, prob)
+	default:
+		return fmt.Errorf("unknown scheme %q", scheme)
+	}
+	if err != nil {
+		return err
+	}
+
+	res, err := core.Run(s, test, eps)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("dataset      %s (%d nodes)\n", dataset, n)
+	fmt.Printf("scheme       %s\n", res.Scheme)
+	fmt.Printf("test window  %d steps, ε=%.2g\n", res.Steps, eps[0])
+	fmt.Printf("reported     %d of %d values (%.1f%%)\n",
+		res.ValuesReported, res.Steps*res.Dim, 100*res.FractionReported())
+	fmt.Printf("max |error|  %.4f\n", res.MaxAbsError)
+	fmt.Printf("mean |error| %.4f\n", res.MeanAbsError)
+	fmt.Printf("violations   %d\n", res.BoundViolations)
+	if top != nil {
+		fmt.Printf("cost/step    intra %.2f + inter %.2f = %.2f\n",
+			res.IntraCost/float64(res.Steps), res.SinkCost/float64(res.Steps),
+			res.TotalCost()/float64(res.Steps))
+	}
+	return nil
+}
+
+// compareAll runs every scheme over the same test window and prints a
+// side-by-side table.
+func compareAll(tr *trace.Trace, train, test [][]float64, eps []float64, k int, seed int64, top *network.Topology) error {
+	n := len(eps)
+	type entry struct {
+		name  string
+		build func() (core.Scheme, error)
+	}
+	entries := []entry{
+		{"tinydb", func() (core.Scheme, error) { return core.NewTinyDB(n, top) }},
+		{"apc", func() (core.Scheme, error) { return core.NewCache(eps, top) }},
+		{"avg", func() (core.Scheme, error) {
+			return core.NewAverage(train, eps, model.FitConfig{Period: 24}, top)
+		}},
+	}
+	for kk := 1; kk <= k; kk++ {
+		kk := kk
+		entries = append(entries, entry{fmt.Sprintf("djc%d", kk), func() (core.Scheme, error) {
+			return buildDjCQuiet(tr, train, eps, kk, seed, top)
+		}})
+	}
+	fmt.Printf("%-8s %10s %10s %12s", "scheme", "reported", "max |err|", "violations")
+	if top != nil {
+		fmt.Printf(" %12s", "cost/step")
+	}
+	fmt.Println()
+	for _, e := range entries {
+		s, err := e.build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		res, err := core.Run(s, test, eps)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Printf("%-8s %9.1f%% %10.4f %12d", e.name,
+			100*res.FractionReported(), res.MaxAbsError, res.BoundViolations)
+		if top != nil {
+			fmt.Printf(" %12.2f", res.TotalCost()/float64(res.Steps))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// buildDjCQuiet is buildDjC without the partition print (compare mode).
+func buildDjCQuiet(tr *trace.Trace, train [][]float64, eps []float64, k int, seed int64, top *network.Topology) (core.Scheme, error) {
+	eval, err := cliques.NewMCEvaluator(train, eps, model.FitConfig{Period: 24},
+		mc.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	selTop := top
+	if selTop == nil {
+		selTop, err = network.Uniform(tr.Deployment.N(), 1, 5)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p, err := cliques.Greedy(selTop, eval, cliques.GreedyConfig{K: k, Metric: cliques.MetricReduction})
+	if err != nil {
+		return nil, err
+	}
+	return core.NewKen(core.KenConfig{
+		Name:      fmt.Sprintf("DjC%d", k),
+		Partition: p,
+		Train:     train,
+		Eps:       eps,
+		FitCfg:    model.FitConfig{Period: 24},
+		Topology:  top,
+	})
+}
+
+// buildDjC selects a Greedy-k partition and wires the Ken scheme,
+// optionally wrapped with loss injection or probabilistic reporting.
+func buildDjC(tr *trace.Trace, train [][]float64, eps []float64, k int, seed int64, top *network.Topology, loss float64, heartbeat int, prob float64) (core.Scheme, error) {
+	eval, err := cliques.NewMCEvaluator(train, eps, model.FitConfig{Period: 24},
+		mc.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	selTop := top
+	if selTop == nil {
+		// Partition selection needs some topology; use the uniform ×5 the
+		// paper's cost study centres on.
+		selTop, err = network.Uniform(tr.Deployment.N(), 1, 5)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p, err := cliques.Greedy(selTop, eval, cliques.GreedyConfig{K: k, Metric: cliques.MetricReduction})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("partition    %s\n", p)
+	cfg := core.KenConfig{
+		Partition: p,
+		Train:     train,
+		Eps:       eps,
+		FitCfg:    model.FitConfig{Period: 24},
+		Topology:  top,
+	}
+	if prob > 0 {
+		cfg.Prob = &core.ProbConfig{Steepness: prob, Seed: seed}
+	}
+	if loss > 0 {
+		return core.NewLossyKen(cfg, core.LossyConfig{
+			LossRate: loss, HeartbeatEvery: heartbeat, Seed: seed,
+		})
+	}
+	return core.NewKen(cfg)
+}

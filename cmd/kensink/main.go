@@ -1,0 +1,103 @@
+// Command kensink is the base-station endpoint of the streaming Ken
+// system: it builds the sink replica from the shared deployment
+// parameters, listens for one kensource connection, applies report frames
+// as they arrive, and periodically prints the live SELECT * answer.
+//
+// Both binaries must run with the same -dataset/-seed/-train/-k/-eps so
+// the replicas match (deploy.Build is deterministic):
+//
+//	kensink   -listen 127.0.0.1:7070 -dataset garden -seed 1 -k 2
+//	kensource -connect 127.0.0.1:7070 -dataset garden -seed 1 -k 2 -steps 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"ken/internal/deploy"
+	"ken/internal/stream"
+	"ken/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "address to accept the source connection on")
+	dataset := flag.String("dataset", "garden", "deployment: garden or lab")
+	seed := flag.Int64("seed", 1, "shared deployment seed")
+	train := flag.Int("train", 100, "shared training steps")
+	k := flag.Int("k", 2, "shared max clique size")
+	eps := flag.Float64("eps", 0, "shared error bound override (0 = attribute default)")
+	every := flag.Int("print", 100, "print the live answer every N frames (0 = never)")
+	flag.Parse()
+
+	if err := run(*listen, *dataset, *seed, *train, *k, *eps, *every); err != nil {
+		fmt.Fprintf(os.Stderr, "kensink: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, dataset string, seed int64, train, k int, eps float64, every int) error {
+	dep, err := deploy.Build(deploy.Params{
+		Dataset: dataset, Seed: seed, TrainSteps: train, K: k, Epsilon: eps,
+	})
+	if err != nil {
+		return err
+	}
+	sink, err := stream.NewReplica(dep.Config)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("kensink: replica ready (%s, %d nodes, partition %s)\n",
+		dataset, dep.N, dep.Partition)
+	fmt.Printf("kensink: listening on %s\n", ln.Addr())
+
+	conn, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Printf("kensink: source connected from %s\n", conn.RemoteAddr())
+
+	frames := 0
+	for {
+		f, err := stream.ReadFrame(conn, sink.Resolution())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := sink.Apply(f); err != nil {
+			return err
+		}
+		frames++
+		if every > 0 && frames%every == 0 {
+			printAnswer(sink, f)
+		}
+	}
+	fmt.Printf("kensink: stream closed after %d frames (%d heartbeats)\n",
+		sink.Steps(), sink.Heartbeats())
+	printAnswer(sink, wire.Frame{Step: uint64(sink.Steps())})
+	return nil
+}
+
+func printAnswer(sink *stream.Replica, f wire.Frame) {
+	est := sink.Estimates()
+	fmt.Printf("kensink: step %d answer:", f.Step)
+	for i, v := range est {
+		if i == 8 {
+			fmt.Printf(" …")
+			break
+		}
+		fmt.Printf(" %.2f", v)
+	}
+	fmt.Println()
+}

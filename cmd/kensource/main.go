@@ -1,0 +1,76 @@
+// Command kensource is the sensor-network endpoint of the streaming Ken
+// system: it builds the source replica from the shared deployment
+// parameters, connects to a kensink, and streams one report frame per
+// sampling step over TCP.
+//
+// Both binaries must run with the same -dataset/-seed/-train/-k/-eps so
+// the replicas match:
+//
+//	kensink   -listen 127.0.0.1:7070 -dataset garden -seed 1 -k 2
+//	kensource -connect 127.0.0.1:7070 -dataset garden -seed 1 -k 2 -steps 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"ken/internal/deploy"
+	"ken/internal/stream"
+)
+
+func main() {
+	connect := flag.String("connect", "127.0.0.1:7070", "kensink address")
+	dataset := flag.String("dataset", "garden", "deployment: garden or lab")
+	seed := flag.Int64("seed", 1, "shared deployment seed")
+	train := flag.Int("train", 100, "shared training steps")
+	steps := flag.Int("steps", 500, "steps to stream")
+	k := flag.Int("k", 2, "shared max clique size")
+	eps := flag.Float64("eps", 0, "shared error bound override (0 = attribute default)")
+	heartbeat := flag.Int("heartbeat", 24, "heartbeat frame interval (0 disables)")
+	flag.Parse()
+
+	if err := run(*connect, *dataset, *seed, *train, *steps, *k, *eps, *heartbeat); err != nil {
+		fmt.Fprintf(os.Stderr, "kensource: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(connect, dataset string, seed int64, train, steps, k int, eps float64, heartbeat int) error {
+	dep, err := deploy.Build(deploy.Params{
+		Dataset: dataset, Seed: seed, TrainSteps: train, TestSteps: steps,
+		K: k, Epsilon: eps, HeartbeatEvery: heartbeat,
+	})
+	if err != nil {
+		return err
+	}
+	src, err := stream.NewSource(dep.Config)
+	if err != nil {
+		return err
+	}
+
+	conn, err := net.Dial("tcp", connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Printf("kensource: connected to %s, streaming %d steps (%s, partition %s)\n",
+		connect, len(dep.Test), dataset, dep.Partition)
+
+	values := 0
+	for _, row := range dep.Test {
+		f, err := src.Collect(row)
+		if err != nil {
+			return err
+		}
+		values += len(f.Attrs)
+		if err := stream.WriteFrame(conn, f, src.Resolution()); err != nil {
+			return err
+		}
+	}
+	total := len(dep.Test) * dep.N
+	fmt.Printf("kensource: done — %d of %d values on the wire (%.1f%%)\n",
+		values, total, 100*float64(values)/float64(total))
+	return nil
+}

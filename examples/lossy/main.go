@@ -1,0 +1,94 @@
+// Lossy: Ken over an unreliable radio (§6 "Robustness to Message Loss").
+//
+// End-to-end acknowledgements are too expensive for sensornets, so lost
+// reports silently desynchronise the source and sink replicas. The
+// Markovian models offer a cheaper remedy: a periodic heartbeat carrying
+// the current values makes the future independent of the divergent past,
+// so inconsistencies are transient. This example sweeps heartbeat
+// frequency at a fixed 30% loss rate and shows the trade-off between extra
+// heartbeat traffic and residual error.
+//
+//	go run ./examples/lossy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ken/internal/cliques"
+	"ken/internal/core"
+	"ken/internal/model"
+	"ken/internal/trace"
+)
+
+const (
+	trainHours = 100
+	testHours  = 1000
+	lossRate   = 0.3
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	tr, err := trace.GenerateGarden(11, trainHours+testHours)
+	if err != nil {
+		return err
+	}
+	rows, err := tr.Rows(trace.Temperature)
+	if err != nil {
+		return err
+	}
+	n := tr.Deployment.N()
+	train, test := rows[:trainHours], rows[trainHours:]
+	eps := make([]float64, n)
+	for i := range eps {
+		eps[i] = 0.5
+	}
+	p := &cliques.Partition{}
+	for i := 0; i < n; i += 2 {
+		hi := i + 1
+		if hi >= n {
+			p.Cliques = append(p.Cliques, cliques.Clique{Members: []int{i}, Root: i})
+			continue
+		}
+		p.Cliques = append(p.Cliques, cliques.Clique{Members: []int{i, hi}, Root: i})
+	}
+	base := core.KenConfig{
+		Partition: p,
+		Train:     train,
+		Eps:       eps,
+		FitCfg:    model.FitConfig{Period: 24},
+	}
+
+	fmt.Printf("garden, %d nodes, %d hours, %.0f%% message loss\n", n, testHours, 100*lossRate)
+	fmt.Printf("%-18s %10s %12s %12s %10s\n", "heartbeat", "reported", "violations", "stale steps", "max err")
+	for _, every := range []int{0, 48, 12, 4} {
+		s, err := core.NewLossyKen(base, core.LossyConfig{
+			LossRate:       lossRate,
+			HeartbeatEvery: every,
+			Seed:           11,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := core.Run(s, test, eps)
+		if err != nil {
+			return err
+		}
+		label := "none"
+		if every > 0 {
+			label = fmt.Sprintf("every %d h", every)
+		}
+		// A "stale step" is a (step, node) whose estimate violates ε —
+		// divergence the guarantee would have forbidden on a clean channel.
+		fmt.Printf("%-18s %9.1f%% %12d %12d %10.2f\n",
+			label, 100*res.FractionReported(), res.BoundViolations,
+			res.BoundViolations, res.MaxAbsError)
+	}
+	fmt.Println("\nmore frequent heartbeats spend messages to cap divergence — transient, as §6 predicts")
+	return nil
+}

@@ -1,0 +1,3 @@
+module ken
+
+go 1.22

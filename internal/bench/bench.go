@@ -1,0 +1,266 @@
+// Package bench regenerates every figure of the paper's evaluation (§5)
+// over the synthetic Lab and Garden deployments:
+//
+//	Fig 7/8   — dataset overviews (diurnal profiles, value ranges)
+//	Fig 9/10  — % of data reported per scheme (topology-independent)
+//	Fig 11    — Greedy-k vs Exhaustive-k partition cost
+//	Fig 12    — total messaging cost on Garden under ×2/×5/×10 base cost
+//	Fig 13    — total messaging cost on Lab east/central/west regions
+//	Fig 14    — multi-attribute compression on a single node
+//
+// Each runner returns a Table whose rows are the series the paper plots;
+// cmd/kenbench prints them, and bench_test.go wraps them as testing.B
+// benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ken/internal/cliques"
+	"ken/internal/core"
+	"ken/internal/mc"
+	"ken/internal/model"
+	"ken/internal/trace"
+)
+
+// Config sizes an experiment. The zero value is filled with paper-like
+// defaults by withDefaults; Quick returns a configuration small enough for
+// unit tests.
+type Config struct {
+	// Seed drives trace generation and Monte Carlo estimation.
+	Seed int64
+	// TrainSteps is the model-learning prefix (paper: 100 hours).
+	TrainSteps int
+	// TestSteps is the evaluation window (paper: 5000 hours; default 1500
+	// to keep full runs minutes, not hours — pass more for paper scale).
+	TestSteps int
+	// MCTrajectories and MCHorizon size the §4.4 Monte Carlo estimate.
+	MCTrajectories int
+	MCHorizon      int
+	// NeighborLimit caps Greedy-k candidate pools (see cliques.GreedyConfig).
+	NeighborLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TrainSteps <= 0 {
+		c.TrainSteps = 100
+	}
+	if c.TestSteps <= 0 {
+		c.TestSteps = 1500
+	}
+	if c.MCTrajectories <= 0 {
+		c.MCTrajectories = 8
+	}
+	if c.MCHorizon <= 0 {
+		c.MCHorizon = 48
+	}
+	if c.NeighborLimit <= 0 {
+		c.NeighborLimit = 8
+	}
+	return c
+}
+
+// Quick returns a configuration small enough for unit tests while keeping
+// every code path exercised.
+func Quick() Config {
+	return Config{
+		Seed:           1,
+		TrainSteps:     100,
+		TestSteps:      250,
+		MCTrajectories: 4,
+		MCHorizon:      24,
+		NeighborLimit:  4,
+	}
+}
+
+// Table is a printable experiment result: the rows/series of one figure.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteMarkdown renders the table as a GitHub-flavoured markdown table,
+// ready to paste into EXPERIMENTS.md.
+func (t *Table) WriteMarkdown(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	sb.WriteString("### ")
+	sb.WriteString(t.Title)
+	sb.WriteString("\n\n|")
+	for _, c := range t.Columns {
+		sb.WriteString(" ")
+		sb.WriteString(c)
+		sb.WriteString(" |")
+	}
+	sb.WriteString("\n|")
+	for range t.Columns {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString("|")
+		for i := range t.Columns {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			sb.WriteString(" ")
+			sb.WriteString(cell)
+			sb.WriteString(" |")
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("\n*")
+		sb.WriteString(n)
+		sb.WriteString("*\n")
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// WriteTo renders the table as padded text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) {
+				for p := len(cell); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// dataset bundles everything an experiment needs from one deployment.
+type dataset struct {
+	name        string
+	dep         *trace.Deployment
+	train, test [][]float64 // temperature matrices
+	eps         []float64
+	full        *trace.Trace
+}
+
+// loadDataset generates a deployment trace and splits it.
+func loadDataset(name string, cfg Config) (*dataset, error) {
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	steps := cfg.TrainSteps + cfg.TestSteps
+	switch name {
+	case "garden":
+		tr, err = trace.GenerateGarden(cfg.Seed, steps)
+	case "lab":
+		tr, err = trace.GenerateLab(cfg.Seed, steps)
+	default:
+		return nil, fmt.Errorf("bench: unknown dataset %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rows, err := tr.Rows(trace.Temperature)
+	if err != nil {
+		return nil, err
+	}
+	n := tr.Deployment.N()
+	eps := make([]float64, n)
+	for i := range eps {
+		eps[i] = trace.Temperature.DefaultEpsilon()
+	}
+	return &dataset{
+		name:  name,
+		dep:   tr.Deployment,
+		train: rows[:cfg.TrainSteps],
+		test:  rows[cfg.TrainSteps:],
+		eps:   eps,
+		full:  tr,
+	}, nil
+}
+
+// evaluator builds the cached Monte Carlo m_C estimator for a dataset.
+func (d *dataset) evaluator(cfg Config) (*cliques.MCEvaluator, error) {
+	return cliques.NewMCEvaluator(d.train, d.eps,
+		model.FitConfig{Period: 24},
+		mc.Config{Trajectories: cfg.MCTrajectories, Horizon: cfg.MCHorizon, Seed: cfg.Seed})
+}
+
+// subset restricts the dataset to the given node indices.
+func (d *dataset) subset(nodes []int) *dataset {
+	pick := func(rows [][]float64) [][]float64 {
+		out := make([][]float64, len(rows))
+		for t, row := range rows {
+			r := make([]float64, len(nodes))
+			for k, i := range nodes {
+				r[k] = row[i]
+			}
+			out[t] = r
+		}
+		return out
+	}
+	eps := make([]float64, len(nodes))
+	for k, i := range nodes {
+		eps[k] = d.eps[i]
+	}
+	return &dataset{
+		name:  d.name,
+		dep:   d.dep,
+		train: pick(d.train),
+		test:  pick(d.test),
+		eps:   eps,
+		full:  d.full,
+	}
+}
+
+// replay runs a scheme over the dataset's test rows, enforcing that
+// deterministic schemes keep the ε guarantee.
+func (d *dataset) replay(s core.Scheme) (*core.Result, error) {
+	res, err := core.Run(s, d.test, d.eps)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+func f2(f float64) string { return fmt.Sprintf("%.2f", f) }

@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell fetches a table cell by row label (first column) and column name.
+func cell(t *testing.T, tb *Table, rowLabel, col string) string {
+	t.Helper()
+	ci := -1
+	for i, c := range tb.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("column %q not in %v", col, tb.Columns)
+	}
+	for _, row := range tb.Rows {
+		if row[0] == rowLabel {
+			return row[ci]
+		}
+	}
+	t.Fatalf("row %q not found in table %q", rowLabel, tb.Title)
+	return ""
+}
+
+// pctVal parses "41.0%" to 0.41.
+func pctVal(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q: %v", s, err)
+	}
+	return v / 100
+}
+
+func TestTableWriteTo(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"a", "b"}, Notes: []string{"n1"}}
+	tb.AddRow("x", "1")
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "x", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadDatasetUnknown(t *testing.T) {
+	if _, err := loadDataset("nope", Quick()); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestFig7And8Overviews(t *testing.T) {
+	for _, fn := range []func(Config) (*Table, error){Fig7, Fig8} {
+		tb, err := fn(Quick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tb.Rows) != 24 {
+			t.Fatalf("%s: %d rows, want 24 hours", tb.Title, len(tb.Rows))
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tb, err := Fig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := pctVal(t, cell(t, tb, "TinyDB", "reported"))
+	apc := pctVal(t, cell(t, tb, "ApC", "reported"))
+	avg := pctVal(t, cell(t, tb, "Avg", "reported"))
+	djc1 := pctVal(t, cell(t, tb, "DjC1", "reported"))
+	djc2 := pctVal(t, cell(t, tb, "DjC2", "reported"))
+	djc6 := pctVal(t, cell(t, tb, "DjC6", "reported"))
+
+	if tiny != 1 {
+		t.Fatalf("TinyDB = %v, want 100%%", tiny)
+	}
+	// Paper shape: substantial savings for every approximate scheme.
+	if apc >= 0.9 || djc1 >= 0.9 {
+		t.Fatalf("no meaningful savings: ApC %v, DjC1 %v", apc, djc1)
+	}
+	// Spatial correlation helps monotonically (weakly) with clique size.
+	if djc2 >= djc1 {
+		t.Fatalf("DjC2 (%v) not better than DjC1 (%v)", djc2, djc1)
+	}
+	if djc6 > djc2+1e-9 {
+		t.Fatalf("DjC6 (%v) worse than DjC2 (%v)", djc6, djc2)
+	}
+	// Average reports at a higher rate than DjC2 (paper §5.3).
+	if avg <= djc2 {
+		t.Fatalf("Avg (%v) should report more than DjC2 (%v)", avg, djc2)
+	}
+	// All guarantees hold.
+	for _, row := range tb.Rows {
+		if row[3] != "0" {
+			t.Fatalf("scheme %s violated bounds %s times", row[0], row[3])
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tb, err := Fig10(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	djc1 := pctVal(t, cell(t, tb, "DjC1", "reported"))
+	djc5 := pctVal(t, cell(t, tb, "DjC5", "reported"))
+	if djc5 >= djc1 {
+		t.Fatalf("lab DjC5 (%v) not better than DjC1 (%v)", djc5, djc1)
+	}
+	// Lab is harder than garden: compare DjC5 levels.
+	g, err := Fig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gardenDjc5 := pctVal(t, cell(t, g, "DjC5", "reported"))
+	if djc5 <= gardenDjc5 {
+		t.Fatalf("lab DjC5 (%v) should report more than garden DjC5 (%v)", djc5, gardenDjc5)
+	}
+}
+
+func TestFig11GreedyNearOptimal(t *testing.T) {
+	tb, err := Fig11(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want k=1..4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		ratio, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio < 1-1e-9 {
+			t.Fatalf("k=%s: greedy (%s) beat the exhaustive optimum (%s) — DP broken",
+				row[0], row[1], row[2])
+		}
+		if ratio > 1.35 {
+			t.Fatalf("k=%s: greedy/optimal = %v, want near-optimal", row[0], ratio)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tb, err := Fig12(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(base, scheme string) float64 {
+		for _, row := range tb.Rows {
+			if row[0] == base && row[1] == scheme {
+				v, err := strconv.ParseFloat(row[4], 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %s/%s missing", base, scheme)
+		return 0
+	}
+	// Ken beats approximate caching at every base cost.
+	for _, base := range []string{"x2", "x5", "x10"} {
+		if total(base, "DjC5") >= total(base, "ApC") {
+			t.Fatalf("%s: DjC5 (%v) not cheaper than ApC (%v)",
+				base, total(base, "DjC5"), total(base, "ApC"))
+		}
+	}
+	// At ×10, exploiting spatial correlations must beat pure singletons.
+	if total("x10", "DjC5") >= total("x10", "DjC1") {
+		t.Fatalf("x10: DjC5 (%v) not cheaper than DjC1 (%v)",
+			total("x10", "DjC5"), total("x10", "DjC1"))
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tb, err := Fig13(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(regionPrefix, scheme string) float64 {
+		for _, row := range tb.Rows {
+			if strings.HasPrefix(row[0], regionPrefix) && row[1] == scheme {
+				v, err := strconv.ParseFloat(row[4], 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %s/%s missing", regionPrefix, scheme)
+		return 0
+	}
+	// The west region (far from base) pays more per step than the east.
+	if total("west", "DjC1") <= total("east", "DjC1") {
+		t.Fatal("west region should be costlier than east")
+	}
+	// Far from the base, spatial cliques give a modest net gain.
+	if total("west", "DjC5") >= total("west", "DjC1") {
+		t.Fatalf("west: DjC5 (%v) should modestly beat DjC1 (%v)",
+			total("west", "DjC5"), total("west", "DjC1"))
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	tb, err := Fig14(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string) float64 { return pctVal(t, cell(t, tb, label, "reported")) }
+	none := get("no compression")
+	singles := get("{T,H,V} singletons")
+	vth := get("{V, TH}")
+	full := get("{THV} one clique")
+	if none != 1 {
+		t.Fatalf("no compression = %v", none)
+	}
+	// Any compression far exceeds none (paper §5.5).
+	if singles > 0.7 {
+		t.Fatalf("singleton compression too weak: %v", singles)
+	}
+	// Exploiting inter-attribute correlation improves on singletons.
+	if vth >= singles {
+		t.Fatalf("{V,TH} (%v) should beat singletons (%v)", vth, singles)
+	}
+	if full > vth+1e-9 {
+		t.Fatalf("{THV} (%v) should be at least as good as {V,TH} (%v)", full, vth)
+	}
+}
+
+func TestExtensionsTable(t *testing.T) {
+	tb, err := Extensions(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 8 {
+		t.Fatalf("extensions table has %d rows", len(tb.Rows))
+	}
+	get := func(experiment, variant string) string {
+		for _, row := range tb.Rows {
+			if row[0] == experiment && row[1] == variant {
+				return row[3]
+			}
+		}
+		t.Fatalf("row %s/%s missing", experiment, variant)
+		return ""
+	}
+	// Crisp regime data: switching must beat plain.
+	crispPlain := pctVal(t, get("switching model (crisp 2-level data)", "plain Gaussian"))
+	crispSwitch := pctVal(t, get("switching model (crisp 2-level data)", "2-regime switching"))
+	if crispSwitch >= crispPlain {
+		t.Fatalf("switching (%v) should beat plain (%v) on crisp data", crispSwitch, crispPlain)
+	}
+	// Adaptive must beat static under drift.
+	st := pctVal(t, get("adaptive refit (garden, +2.5°C shift)", "static"))
+	ad := pctVal(t, get("adaptive refit (garden, +2.5°C shift)", "adaptive"))
+	if ad >= st {
+		t.Fatalf("adaptive (%v) should beat static (%v) under drift", ad, st)
+	}
+	// Ken must outlive TinyDB.
+	tiny := get("network lifetime (11-node chain)", "tinydb")
+	kenLife := get("network lifetime (11-node chain)", "ken")
+	tn, err1 := strconv.Atoi(strings.TrimPrefix(tiny, ">"))
+	kn, err2 := strconv.Atoi(strings.TrimPrefix(kenLife, ">"))
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparseable lifetimes %q %q", tiny, kenLife)
+	}
+	if kn <= tn {
+		t.Fatalf("ken lifetime %d not beyond tinydb %d", kn, tn)
+	}
+	// Ken frames must be smaller than naive streaming.
+	kb, err1 := strconv.Atoi(get("streaming wire bytes (garden)", "ken frames"))
+	nb, err2 := strconv.Atoi(get("streaming wire bytes (garden)", "naive 10 B/reading"))
+	if err1 != nil || err2 != nil || kb >= nb {
+		t.Fatalf("wire bytes %d not below naive %d", kb, nb)
+	}
+}
+
+func TestTableWriteMarkdown(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"a", "b"}, Notes: []string{"n1"}}
+	tb.AddRow("x", "1")
+	tb.AddRow("y") // short row pads gracefully
+	var buf bytes.Buffer
+	if _, err := tb.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### demo", "| a | b |", "|---|---|", "| x | 1 |", "| y |  |", "*n1*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtensionsJointMultiAttr(t *testing.T) {
+	tb, err := Extensions(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(variant string) float64 {
+		for _, row := range tb.Rows {
+			if row[0] == "joint multi-attribute (33 logical attrs)" && row[1] == variant {
+				return pctVal(t, row[3])
+			}
+		}
+		t.Fatalf("joint row %q missing", variant)
+		return 0
+	}
+	indep := get("independent per-attr DjC2")
+	joint := get("joint logical DjC4")
+	// Cross-attribute cliques must not lose to independent collection.
+	if joint > indep+0.01 {
+		t.Fatalf("joint (%v) worse than independent (%v)", joint, indep)
+	}
+}
+
+func TestSweepsShape(t *testing.T) {
+	tb, err := Sweeps(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevApc, prevDjc float64
+	seenEps := 0
+	for _, row := range tb.Rows {
+		if row[0] != "ε bound" {
+			continue
+		}
+		apc := pctVal(t, row[2])
+		djc := pctVal(t, row[3])
+		// DjC2 never reports more than ApC at any bound.
+		if djc > apc+1e-9 {
+			t.Fatalf("%s: DjC2 (%v) above ApC (%v)", row[1], djc, apc)
+		}
+		// Reported fractions fall monotonically as ε loosens.
+		if seenEps > 0 && (apc > prevApc+1e-9 || djc > prevDjc+1e-9) {
+			t.Fatalf("%s: reported fraction rose with looser ε", row[1])
+		}
+		prevApc, prevDjc = apc, djc
+		seenEps++
+	}
+	if seenEps < 4 {
+		t.Fatalf("only %d ε rows", seenEps)
+	}
+	rateRows := 0
+	for _, row := range tb.Rows {
+		if row[0] == "sampling rate" {
+			rateRows++
+			if pctVal(t, row[3]) > pctVal(t, row[2])+1e-9 {
+				t.Fatalf("%s: DjC2 above ApC", row[1])
+			}
+		}
+	}
+	if rateRows != 3 {
+		t.Fatalf("rate rows = %d", rateRows)
+	}
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"ken/internal/trace"
+)
+
+// Fig7 reproduces the Lab data overview: the hour-of-day profile and value
+// ranges of temperature and humidity across the deployment. (The paper's
+// figure is a raw time-series plot; kentrace dumps the same series as CSV —
+// this table summarises its shape.)
+func Fig7(cfg Config) (*Table, error) {
+	return overview("lab", cfg)
+}
+
+// Fig8 reproduces the Garden data overview.
+func Fig8(cfg Config) (*Table, error) {
+	return overview("garden", cfg)
+}
+
+func overview(name string, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	d, err := loadDataset(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig %s: %s data overview (%d nodes, %d hourly steps)", figNum(name), name, d.dep.N(), d.full.Steps()),
+		Columns: []string{"hour", "temp mean", "temp min", "temp max", "hum mean", "hum min", "hum max"},
+	}
+	temp, err := d.full.Rows(trace.Temperature)
+	if err != nil {
+		return nil, err
+	}
+	hum, err := d.full.Rows(trace.Humidity)
+	if err != nil {
+		return nil, err
+	}
+	for h := 0; h < 24; h++ {
+		tm, tmin, tmax := hourStats(temp, h)
+		hm, hmin, hmax := hourStats(hum, h)
+		t.AddRow(fmt.Sprintf("%02d", h), f2(tm), f2(tmin), f2(tmax), f2(hm), f2(hmin), f2(hmax))
+	}
+	t.Notes = append(t.Notes,
+		"both attributes fluctuate cyclically with a 24 h period (paper §5.1)",
+		"dump the raw series with: kentrace -dataset "+name)
+	return t, nil
+}
+
+func figNum(name string) string {
+	if name == "lab" {
+		return "7"
+	}
+	return "8"
+}
+
+// hourStats aggregates all readings whose step index falls on hour h.
+func hourStats(rows [][]float64, h int) (mean, min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	sum, count := 0.0, 0
+	for t := h; t < len(rows); t += 24 {
+		for _, v := range rows[t] {
+			sum += v
+			count++
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if count == 0 {
+		return 0, 0, 0
+	}
+	return sum / float64(count), min, max
+}

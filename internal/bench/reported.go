@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"ken/internal/cliques"
+	"ken/internal/core"
+	"ken/internal/model"
+	"ken/internal/network"
+	"ken/internal/trace"
+)
+
+// Fig9 reproduces "% of data reported under various schemes for the garden
+// dataset": TinyDB, Approximate Caching, the Average model, and Ken with
+// Disjoint-Cliques of maximum size 1–6. Accounting is topology-independent,
+// exactly as in the paper's §5.3.
+func Fig9(cfg Config) (*Table, error) {
+	return reportedFigure("garden", 6, "9", cfg)
+}
+
+// Fig10 reproduces the same comparison for the lab dataset (clique sizes
+// 1–5).
+func Fig10(cfg Config) (*Table, error) {
+	return reportedFigure("lab", 5, "10", cfg)
+}
+
+func reportedFigure(name string, kmax int, fig string, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	d, err := loadDataset(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig %s: %% of data reported, %s dataset (ε=%.1f°C, %d test steps)", fig, name, d.eps[0], len(d.test)),
+		Columns: []string{"scheme", "reported", "max |err|", "violations"},
+	}
+
+	add := func(s core.Scheme) error {
+		res, err := d.replay(s)
+		if err != nil {
+			return fmt.Errorf("bench: %s on %s: %w", s.Name(), name, err)
+		}
+		t.AddRow(s.Name(), pct(res.FractionReported()), f2(res.MaxAbsError),
+			fmt.Sprintf("%d", res.BoundViolations))
+		return nil
+	}
+
+	tiny, err := core.NewTinyDB(d.dep.N(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := add(tiny); err != nil {
+		return nil, err
+	}
+	apc, err := core.NewCache(d.eps, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := add(apc); err != nil {
+		return nil, err
+	}
+	avg, err := core.NewAverage(d.train, d.eps, model.FitConfig{Period: 24}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := add(avg); err != nil {
+		return nil, err
+	}
+
+	parts, err := djcPartitions(d, cfg, kmax, cliques.MetricReduction)
+	if err != nil {
+		return nil, err
+	}
+	for k := 1; k <= kmax; k++ {
+		s, err := core.NewKen(core.KenConfig{
+			Name:      fmt.Sprintf("DjC%d", k),
+			Partition: parts[k],
+			Train:     d.train,
+			Eps:       d.eps,
+			FitCfg:    model.FitConfig{Period: 24},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := add(s); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: TinyDB = 100%; ApC ≈ DjC1; reported fraction falls as clique size grows",
+		"violations must be 0 — Ken's bounded-loss guarantee is unconditional")
+	return t, nil
+}
+
+// djcPartitions runs Greedy-k for every k in 1..kmax over the dataset,
+// reusing one cached Monte Carlo evaluator. Partition selection uses the
+// deployment's geometric topology (spatially-near nodes are cheap to pool),
+// which is independent of the cost accounting chosen at replay time.
+func djcPartitions(d *dataset, cfg Config, kmax int, metric cliques.Metric) (map[int]*cliques.Partition, error) {
+	top, err := geometricTopology(d.dep)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := d.evaluator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*cliques.Partition, kmax)
+	for k := 1; k <= kmax; k++ {
+		p, err := cliques.Greedy(top, eval, cliques.GreedyConfig{
+			K:             k,
+			NeighborLimit: cfg.NeighborLimit,
+			Metric:        metric,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: greedy k=%d on %s: %w", k, d.name, err)
+		}
+		if err := p.Validate(d.dep.N()); err != nil {
+			return nil, err
+		}
+		out[k] = p
+	}
+	return out, nil
+}
+
+// geometricTopology derives a connectivity graph from node positions: links
+// within 2.5× the typical nearest-neighbour spacing, one hop ≈ one cost
+// unit, base station just east of the deployment ("the base station resides
+// at the east end of the network", §5.4).
+func geometricTopology(dep *trace.Deployment) (*network.Topology, error) {
+	spacing := typicalSpacing(dep)
+	maxX, midY := math.Inf(-1), 0.0
+	for _, nd := range dep.Nodes {
+		if nd.X > maxX {
+			maxX = nd.X
+		}
+		midY += nd.Y
+	}
+	midY /= float64(dep.N())
+	return network.Geometric(dep, maxX+spacing, midY, 2.5*spacing, 1/spacing, 0.5)
+}
+
+// typicalSpacing is the median nearest-neighbour distance.
+func typicalSpacing(dep *trace.Deployment) float64 {
+	nearest := make([]float64, 0, dep.N())
+	for i, a := range dep.Nodes {
+		best := math.Inf(1)
+		for j, b := range dep.Nodes {
+			if i == j {
+				continue
+			}
+			if d := a.Distance(b); d < best {
+				best = d
+			}
+		}
+		nearest = append(nearest, best)
+	}
+	// Median by selection; n is tiny.
+	for i := 1; i < len(nearest); i++ {
+		for j := i; j > 0 && nearest[j] < nearest[j-1]; j-- {
+			nearest[j], nearest[j-1] = nearest[j-1], nearest[j]
+		}
+	}
+	return nearest[len(nearest)/2]
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+
+	"ken/internal/cliques"
+	"ken/internal/core"
+	"ken/internal/model"
+	"ken/internal/trace"
+)
+
+// Sweeps backs the paper's §5.1 remark that "we also experimented with
+// other various sampling rates and bounds, and observed very similar
+// performance trends": it sweeps the error bound ε and the sampling
+// interval on the garden dataset and reports ApC and DjC2 reporting rates
+// for each setting.
+func Sweeps(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Sweeps: error bound and sampling rate (garden, ApC vs DjC2)",
+		Columns: []string{"sweep", "setting", "ApC reported", "DjC2 reported", "DjC2/ApC"},
+	}
+	if err := sweepEpsilon(t, cfg); err != nil {
+		return nil, err
+	}
+	if err := sweepRate(t, cfg); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"paper §5.1: trends are stable across bounds and rates — Ken's advantage persists",
+		"looser ε and faster sampling both reduce the reported fraction")
+	return t, nil
+}
+
+// pairPart builds adjacent pairs over n attributes.
+func pairPart(n int) *cliques.Partition {
+	p := &cliques.Partition{}
+	for i := 0; i < n; i += 2 {
+		if i+1 < n {
+			p.Cliques = append(p.Cliques, cliques.Clique{Members: []int{i, i + 1}, Root: i})
+		} else {
+			p.Cliques = append(p.Cliques, cliques.Clique{Members: []int{i}, Root: i})
+		}
+	}
+	return p
+}
+
+// runPair replays ApC and DjC2 on the rows at the given ε and seasonal
+// period, returning their reported fractions.
+func runPair(train, test [][]float64, epsVal float64, period int) (apc, djc float64, err error) {
+	n := len(train[0])
+	eps := make([]float64, n)
+	for i := range eps {
+		eps[i] = epsVal
+	}
+	cache, err := core.NewCache(eps, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	cres, err := core.Run(cache, test, eps)
+	if err != nil {
+		return 0, 0, err
+	}
+	ken, err := core.NewKen(core.KenConfig{
+		Partition: pairPart(n),
+		Train:     train,
+		Eps:       eps,
+		FitCfg:    model.FitConfig{Period: period},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	kres, err := core.Run(ken, test, eps)
+	if err != nil {
+		return 0, 0, err
+	}
+	if kres.BoundViolations != 0 {
+		return 0, 0, fmt.Errorf("bench: sweep run violated ε")
+	}
+	return cres.FractionReported(), kres.FractionReported(), nil
+}
+
+// sweepEpsilon varies the error bound at the hourly rate.
+func sweepEpsilon(t *Table, cfg Config) error {
+	d, err := loadDataset("garden", cfg)
+	if err != nil {
+		return err
+	}
+	for _, e := range []float64{0.1, 0.25, 0.5, 1.0, 2.0} {
+		apc, djc, err := runPair(d.train, d.test, e, 24)
+		if err != nil {
+			return err
+		}
+		t.AddRow("ε bound", fmt.Sprintf("±%.2f°C", e), pct(apc), pct(djc),
+			fmt.Sprintf("%.2f", safeRatio(djc, apc)))
+	}
+	return nil
+}
+
+// sweepRate varies the sampling interval at ε = 0.5 °C. Faster sampling
+// means smaller per-step changes, so every scheme reports a smaller
+// fraction (the paper's FREQ f knob).
+func sweepRate(t *Table, cfg Config) error {
+	for _, sc := range []struct {
+		label   string
+		minutes float64
+		period  int
+	}{
+		{"every 30 min", 30, 48},
+		{"hourly", 60, 24},
+		{"every 2 h", 120, 12},
+	} {
+		gc := trace.GardenConfig(cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
+		gc.StepMinutes = sc.minutes
+		tr, err := trace.Generate(trace.GardenDeployment(), gc)
+		if err != nil {
+			return err
+		}
+		rows, err := tr.Rows(trace.Temperature)
+		if err != nil {
+			return err
+		}
+		train, test := rows[:cfg.TrainSteps], rows[cfg.TrainSteps:]
+		apc, djc, err := runPair(train, test, 0.5, sc.period)
+		if err != nil {
+			return err
+		}
+		t.AddRow("sampling rate", sc.label, pct(apc), pct(djc),
+			fmt.Sprintf("%.2f", safeRatio(djc, apc)))
+	}
+	return nil
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+
+	"ken/internal/cliques"
+	"ken/internal/core"
+	"ken/internal/model"
+	"ken/internal/network"
+)
+
+// uniformTopology builds the paper's synthetic garden topology: equivalent
+// unit path costs between every pair of nodes and baseMult to the base.
+func uniformTopology(n int, baseMult float64) (*network.Topology, error) {
+	return network.Uniform(n, 1, baseMult)
+}
+
+// Fig12 reproduces "Total communication cost for the garden dataset under
+// different network topologies": the cost to the base is swept over ×2, ×5
+// and ×10 the pairwise node cost, and for each topology we replay ApC and
+// Ken with Greedy-k partitions for k = 1..5, decomposing the measured cost
+// into intra-source and source-sink components.
+func Fig12(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	d, err := loadDataset("garden", cfg)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := d.evaluator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 12: total messaging cost per step, garden (%d test steps)", len(d.test)),
+		Columns: []string{"base cost", "scheme", "intra", "inter", "total", "max clique"},
+	}
+	for _, mult := range []float64{2, 5, 10} {
+		top, err := uniformTopology(d.dep.N(), mult)
+		if err != nil {
+			return nil, err
+		}
+		if err := topologyRows(t, d, eval, top, fmt.Sprintf("x%.0f", mult), 5, cfg); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: larger cliques pay off as the base cost multiplier grows, then level off",
+		"intra/inter are per-step averages over the replayed test trace")
+	return t, nil
+}
+
+// Fig13 reproduces "Total communication cost for the Lab deployment
+// partitioned into three node groups, east, central and west": each region
+// is evaluated with its own cost-to-base multiplier (×1.5 / ×3 / ×6,
+// reflecting the base station at the east end).
+func Fig13(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	d, err := loadDataset("lab", cfg)
+	if err != nil {
+		return nil, err
+	}
+	regions := network.LabRegions(d.dep)
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 13: total messaging cost per step, lab regions (%d test steps)", len(d.test)),
+		Columns: []string{"region", "scheme", "intra", "inter", "total", "max clique"},
+	}
+	for _, reg := range regions {
+		sub := d.subset(reg.Nodes)
+		eval, err := sub.evaluator(cfg)
+		if err != nil {
+			return nil, err
+		}
+		top, err := uniformTopology(len(reg.Nodes), reg.BaseMultiplier)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%s x%.1f", reg.Name, reg.BaseMultiplier)
+		if err := topologyRows(t, sub, eval, top, label, 5, cfg); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: regions close to the base gain nothing from larger cliques;",
+		"the far (west) region gains modestly — lab data is harder to predict than garden")
+	return t, nil
+}
+
+// topologyRows replays ApC and DjC1..DjCkmax on the dataset under the given
+// topology and appends per-step cost rows.
+func topologyRows(t *Table, d *dataset, eval *cliques.MCEvaluator, top *network.Topology, label string, kmax int, cfg Config) error {
+	steps := float64(len(d.test))
+
+	apc, err := core.NewCache(d.eps, top)
+	if err != nil {
+		return err
+	}
+	res, err := d.replay(apc)
+	if err != nil {
+		return err
+	}
+	t.AddRow(label, "ApC", f2(res.IntraCost/steps), f2(res.SinkCost/steps),
+		f2(res.TotalCost()/steps), "1")
+
+	for k := 1; k <= kmax; k++ {
+		p, err := cliques.Greedy(top, eval, cliques.GreedyConfig{
+			K:             k,
+			NeighborLimit: cfg.NeighborLimit,
+		})
+		if err != nil {
+			return fmt.Errorf("bench: greedy k=%d (%s): %w", k, label, err)
+		}
+		s, err := core.NewKen(core.KenConfig{
+			Name:      fmt.Sprintf("DjC%d", k),
+			Partition: p,
+			Train:     d.train,
+			Eps:       d.eps,
+			FitCfg:    model.FitConfig{Period: 24},
+			Topology:  top,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := d.replay(s)
+		if err != nil {
+			return err
+		}
+		if res.BoundViolations != 0 {
+			return fmt.Errorf("bench: %s violated ε %d times on %s", s.Name(), res.BoundViolations, label)
+		}
+		t.AddRow(label, s.Name(), f2(res.IntraCost/steps), f2(res.SinkCost/steps),
+			f2(res.TotalCost()/steps), fmt.Sprintf("%d", p.MaxCliqueSize()))
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+// Package cliques implements Ken's Disjoint-Cliques model selection (§4):
+// partitioning the sensor attributes into localized cliques, choosing each
+// clique's inference root, and estimating the resulting communication cost.
+//
+// The optimal partitioning problem is NP-hard (reduction from minimum
+// 3-dimensional assignment, §4.1). The package provides both the paper's
+// dynamic-programming exhaustive algorithm (Fig 5) and the Greedy-k
+// heuristic (Fig 6), plus the cost model they share:
+//
+//	intra-source(C) = Σ_{x∈C} comm(x, root)          (collect every step)
+//	source-sink(C)  = m_C · comm(root, base)          (report on misses)
+//	root(C)         = argmin_r intra(C, r) + m_C·comm(r, base)
+//
+// where m_C, the clique's expected reported values per step, comes from a
+// pluggable Evaluator (Monte Carlo over a fitted model in production,
+// oracles in tests).
+package cliques
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ken/internal/network"
+)
+
+// Evaluator estimates the data reduction factor m_C — the expected number
+// of attribute values per time step the clique reports to the sink.
+// Implementations must be deterministic for a given clique: both
+// partitioning algorithms and the cost accounting rely on repeatable
+// estimates.
+type Evaluator interface {
+	M(clique []int) (float64, error)
+}
+
+// Clique is one element of a Disjoint-Cliques partition, with its chosen
+// root and cost decomposition.
+type Clique struct {
+	Members []int   // sorted attribute indices
+	Root    int     // sensor node where inference runs (not necessarily a member)
+	M       float64 // expected reported values per step
+	Intra   float64 // per-step cost of collecting members at the root
+	Sink    float64 // per-step expected cost of reporting to the base
+}
+
+// Cost returns the clique's total per-step expected communication cost.
+func (c Clique) Cost() float64 { return c.Intra + c.Sink }
+
+// Partition is a disjoint cover of the attribute set by cliques.
+type Partition struct {
+	Cliques []Clique
+}
+
+// TotalCost returns the summed per-step expected cost.
+func (p *Partition) TotalCost() float64 {
+	s := 0.0
+	for _, c := range p.Cliques {
+		s += c.Cost()
+	}
+	return s
+}
+
+// IntraCost returns the summed intra-source component.
+func (p *Partition) IntraCost() float64 {
+	s := 0.0
+	for _, c := range p.Cliques {
+		s += c.Intra
+	}
+	return s
+}
+
+// SinkCost returns the summed source-sink component.
+func (p *Partition) SinkCost() float64 {
+	s := 0.0
+	for _, c := range p.Cliques {
+		s += c.Sink
+	}
+	return s
+}
+
+// ExpectedReported returns the summed expected reported values per step.
+func (p *Partition) ExpectedReported() float64 {
+	s := 0.0
+	for _, c := range p.Cliques {
+		s += c.M
+	}
+	return s
+}
+
+// MaxCliqueSize returns the size of the largest clique.
+func (p *Partition) MaxCliqueSize() int {
+	max := 0
+	for _, c := range p.Cliques {
+		if len(c.Members) > max {
+			max = len(c.Members)
+		}
+	}
+	return max
+}
+
+// Validate checks that the partition exactly covers {0..n-1} with disjoint
+// cliques.
+func (p *Partition) Validate(n int) error {
+	seen := make([]bool, n)
+	count := 0
+	for _, c := range p.Cliques {
+		for _, i := range c.Members {
+			if i < 0 || i >= n {
+				return fmt.Errorf("cliques: member %d out of range %d", i, n)
+			}
+			if seen[i] {
+				return fmt.Errorf("cliques: attribute %d covered twice", i)
+			}
+			seen[i] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("cliques: partition covers %d of %d attributes", count, n)
+	}
+	return nil
+}
+
+// String renders the partition compactly, e.g. "{0,1,2}@1 {3,4}@4".
+func (p *Partition) String() string {
+	var sb strings.Builder
+	for k, c := range p.Cliques {
+		if k > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte('{')
+		for i, m := range c.Members {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(m))
+		}
+		sb.WriteString("}@")
+		sb.WriteString(strconv.Itoa(c.Root))
+	}
+	return sb.String()
+}
+
+// ErrEmptyClique is returned when a clique has no members.
+var ErrEmptyClique = errors.New("cliques: empty clique")
+
+// BuildClique evaluates a member set: estimates m_C, picks the best root,
+// and fills in the cost decomposition (§4.1).
+func BuildClique(top *network.Topology, eval Evaluator, members []int) (Clique, error) {
+	if len(members) == 0 {
+		return Clique{}, ErrEmptyClique
+	}
+	ms := append([]int(nil), members...)
+	sort.Ints(ms)
+	for _, i := range ms {
+		if i < 0 || i >= top.N() {
+			return Clique{}, fmt.Errorf("cliques: member %d out of topology range %d", i, top.N())
+		}
+	}
+	m, err := eval.M(ms)
+	if err != nil {
+		return Clique{}, fmt.Errorf("cliques: evaluating %v: %w", ms, err)
+	}
+	if m < 0 {
+		return Clique{}, fmt.Errorf("cliques: evaluator returned negative m %v for %v", m, ms)
+	}
+	root, intra, sink := bestRoot(top, ms, m)
+	return Clique{Members: ms, Root: root, M: m, Intra: intra, Sink: sink}, nil
+}
+
+// bestRoot scans every sensor node as a candidate root; the root need not
+// be a clique member ("we frequently observe otherwise", §4.1).
+func bestRoot(top *network.Topology, members []int, m float64) (root int, intra, sink float64) {
+	bestCost := -1.0
+	for r := 0; r < top.N(); r++ {
+		in := 0.0
+		for _, x := range members {
+			in += top.Comm(x, r)
+		}
+		sk := m * top.CommToBase(r)
+		if c := in + sk; bestCost < 0 || c < bestCost {
+			bestCost, root, intra, sink = c, r, in, sk
+		}
+	}
+	return root, intra, sink
+}
+
+// cliqueKey returns a canonical string key for caching.
+func cliqueKey(members []int) string {
+	var sb strings.Builder
+	for i, m := range members {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(m))
+	}
+	return sb.String()
+}

@@ -1,0 +1,587 @@
+package cliques
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ken/internal/mc"
+	"ken/internal/model"
+	"ken/internal/network"
+	"ken/internal/trace"
+)
+
+// uniformTop builds an n-node uniform topology with given base multiplier.
+func uniformTop(t *testing.T, n int, baseMult float64) *network.Topology {
+	t.Helper()
+	top, err := network.Uniform(n, 1, baseMult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+// constEval returns m = perAttr × |clique| — no correlation benefit.
+func constEval(perAttr float64) Evaluator {
+	return FuncEvaluator(func(clique []int) (float64, error) {
+		return perAttr * float64(len(clique)), nil
+	})
+}
+
+// sharedEval models perfect correlation: any clique needs only `single`
+// reported values per step regardless of size.
+func sharedEval(single float64) Evaluator {
+	return FuncEvaluator(func(clique []int) (float64, error) {
+		return single, nil
+	})
+}
+
+func TestBuildCliqueBasics(t *testing.T) {
+	top := uniformTop(t, 4, 5)
+	c, err := BuildClique(top, constEval(0.4), []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Members[0] != 0 || c.Members[1] != 2 {
+		t.Fatalf("members not sorted: %v", c.Members)
+	}
+	if math.Abs(c.M-0.8) > 1e-12 {
+		t.Fatalf("M = %v, want 0.8", c.M)
+	}
+	// Uniform topology: root is one of the members (intra = 1), sink = 0.8×5.
+	if c.Intra != 1 {
+		t.Fatalf("intra = %v, want 1", c.Intra)
+	}
+	if math.Abs(c.Sink-4) > 1e-12 {
+		t.Fatalf("sink = %v, want 4", c.Sink)
+	}
+	if math.Abs(c.Cost()-5) > 1e-12 {
+		t.Fatalf("cost = %v, want 5", c.Cost())
+	}
+}
+
+func TestBuildCliqueSingletonRootSelf(t *testing.T) {
+	top := uniformTop(t, 3, 10)
+	c, err := BuildClique(top, constEval(0.5), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Root != 1 || c.Intra != 0 {
+		t.Fatalf("singleton root = %d, intra = %v; want self, 0", c.Root, c.Intra)
+	}
+}
+
+func TestBuildCliqueValidation(t *testing.T) {
+	top := uniformTop(t, 3, 2)
+	if _, err := BuildClique(top, constEval(1), nil); err == nil {
+		t.Fatal("expected error for empty clique")
+	}
+	if _, err := BuildClique(top, constEval(1), []int{7}); err == nil {
+		t.Fatal("expected error for out-of-range member")
+	}
+	bad := FuncEvaluator(func([]int) (float64, error) { return -1, nil })
+	if _, err := BuildClique(top, bad, []int{0}); err == nil {
+		t.Fatal("expected error for negative m")
+	}
+}
+
+func TestPartitionAccounting(t *testing.T) {
+	p := &Partition{Cliques: []Clique{
+		{Members: []int{0, 1}, Root: 0, M: 0.5, Intra: 1, Sink: 2},
+		{Members: []int{2}, Root: 2, M: 0.3, Intra: 0, Sink: 1.5},
+	}}
+	if p.TotalCost() != 4.5 || p.IntraCost() != 1 || p.SinkCost() != 3.5 {
+		t.Fatalf("accounting wrong: %v %v %v", p.TotalCost(), p.IntraCost(), p.SinkCost())
+	}
+	if p.ExpectedReported() != 0.8 {
+		t.Fatalf("reported = %v", p.ExpectedReported())
+	}
+	if p.MaxCliqueSize() != 2 {
+		t.Fatalf("max size = %d", p.MaxCliqueSize())
+	}
+	if err := p.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(4); err == nil {
+		t.Fatal("expected cover error")
+	}
+	dup := &Partition{Cliques: []Clique{{Members: []int{0}}, {Members: []int{0}}}}
+	if err := dup.Validate(1); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	if s := p.String(); !strings.Contains(s, "{0,1}@0") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestExhaustiveSingletonsWhenNoCorrelation(t *testing.T) {
+	// With additive m and any base cost, merging cliques only adds intra
+	// cost: optimal is all singletons.
+	top := uniformTop(t, 5, 3)
+	p, err := Exhaustive(top, constEval(0.5), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxCliqueSize() != 1 {
+		t.Fatalf("expected singletons, got %v", p)
+	}
+}
+
+func TestExhaustiveMergesWhenCorrelated(t *testing.T) {
+	// Perfect correlation, expensive base: one big clique wins.
+	// Cost(all 5 in one) = intra 4 + 0.5×10 = 9; singletons = 5×0.5×10 = 25.
+	top := uniformTop(t, 5, 10)
+	p, err := Exhaustive(top, sharedEval(0.5), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cliques) != 1 || p.MaxCliqueSize() != 5 {
+		t.Fatalf("expected one 5-clique, got %v", p)
+	}
+	if math.Abs(p.TotalCost()-9) > 1e-9 {
+		t.Fatalf("cost = %v, want 9", p.TotalCost())
+	}
+}
+
+func TestExhaustiveRespectsMaxCliqueSize(t *testing.T) {
+	top := uniformTop(t, 5, 10)
+	p, err := Exhaustive(top, sharedEval(0.5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxCliqueSize() > 2 {
+		t.Fatalf("clique size cap violated: %v", p)
+	}
+}
+
+func TestExhaustiveGuards(t *testing.T) {
+	top := uniformTop(t, 3, 2)
+	if _, err := Exhaustive(top, constEval(1), 0); err == nil {
+		t.Fatal("expected error for zero max clique size")
+	}
+	big, err := network.Uniform(21, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exhaustive(big, constEval(1), 2); err == nil {
+		t.Fatal("expected infeasibility error for n=21")
+	}
+}
+
+func TestGreedyCoversAll(t *testing.T) {
+	top := uniformTop(t, 7, 5)
+	p, err := Greedy(top, sharedEval(0.5), GreedyConfig{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(7); err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxCliqueSize() > 3 {
+		t.Fatalf("K violated: %v", p)
+	}
+}
+
+func TestGreedyK1IsSingletons(t *testing.T) {
+	top := uniformTop(t, 4, 5)
+	p, err := Greedy(top, sharedEval(0.5), GreedyConfig{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cliques) != 4 || p.MaxCliqueSize() != 1 {
+		t.Fatalf("expected 4 singletons, got %v", p)
+	}
+}
+
+func TestGreedyMatchesExhaustiveOnEasyInstance(t *testing.T) {
+	top := uniformTop(t, 5, 10)
+	exh, err := Exhaustive(top, sharedEval(0.5), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grd, err := Greedy(top, sharedEval(0.5), GreedyConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(grd.TotalCost()-exh.TotalCost()) > 1e-9 {
+		t.Fatalf("greedy %v vs exhaustive %v", grd.TotalCost(), exh.TotalCost())
+	}
+}
+
+func TestGreedyPruningRule(t *testing.T) {
+	// A line topology where node 3 is very far: cliques pairing 0 with 3
+	// must be pruned, so 0's clique stays local.
+	links := []network.Link{
+		{U: 0, V: 1, Cost: 1},
+		{U: 1, V: 2, Cost: 1},
+		{U: 2, V: 3, Cost: 50},
+		{U: 3, V: 4, Cost: 1}, // vertex 4 is the base
+	}
+	top, err := network.New(4, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect correlation would otherwise favour one giant clique.
+	p, err := Greedy(top, sharedEval(0.2), GreedyConfig{K: 4, PruneFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Cliques {
+		hasNear, hasFar := false, false
+		for _, m := range c.Members {
+			if m <= 2 {
+				hasNear = true
+			} else {
+				hasFar = true
+			}
+		}
+		if hasNear && hasFar {
+			t.Fatalf("pruning failed, clique spans the long link: %v", p)
+		}
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	top := uniformTop(t, 3, 2)
+	if _, err := Greedy(top, constEval(1), GreedyConfig{K: 0}); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+}
+
+func TestGreedyMetricReduction(t *testing.T) {
+	// MetricReduction ignores topology: with shared m, bigger cliques have
+	// higher per-attribute reduction, so greedy builds max-size cliques.
+	top := uniformTop(t, 6, 1)
+	p, err := Greedy(top, sharedEval(0.5), GreedyConfig{K: 3, Metric: MetricReduction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxCliqueSize() != 3 {
+		t.Fatalf("reduction metric should max out clique size: %v", p)
+	}
+}
+
+// gardenEvaluator builds an MCEvaluator over real generated garden data.
+func gardenEvaluator(t *testing.T, n int) (*MCEvaluator, *network.Topology) {
+	t.Helper()
+	tr, err := trace.GenerateGarden(51, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tr.Rows(trace.Temperature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := make([][]float64, len(rows))
+	for i, r := range rows {
+		train[i] = r[:n]
+	}
+	eps := make([]float64, n)
+	for i := range eps {
+		eps[i] = 0.5
+	}
+	eval, err := NewMCEvaluator(train, eps, model.FitConfig{Period: 24},
+		mc.Config{Trajectories: 4, Horizon: 24, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := network.Uniform(n, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eval, top
+}
+
+func TestMCEvaluatorValidation(t *testing.T) {
+	if _, err := NewMCEvaluator(nil, nil, model.FitConfig{}, mc.Config{}); err == nil {
+		t.Fatal("expected error for empty training data")
+	}
+	if _, err := NewMCEvaluator([][]float64{{1, 2}}, []float64{1}, model.FitConfig{}, mc.Config{}); err == nil {
+		t.Fatal("expected error for eps dim mismatch")
+	}
+	if _, err := NewMCEvaluator([][]float64{{1}}, []float64{0}, model.FitConfig{}, mc.Config{}); err == nil {
+		t.Fatal("expected error for zero epsilon")
+	}
+}
+
+func TestMCEvaluatorCachingAndDeterminism(t *testing.T) {
+	eval, _ := gardenEvaluator(t, 4)
+	a, err := eval.M([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.CacheSize() != 1 {
+		t.Fatalf("cache size = %d", eval.CacheSize())
+	}
+	b, err := eval.M([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("cached value changed: %v vs %v", a, b)
+	}
+	if a < 0 || a > 2 {
+		t.Fatalf("m out of range: %v", a)
+	}
+	if _, err := eval.M([]int{9}); err == nil {
+		t.Fatal("expected error for out-of-range attribute")
+	}
+	if _, err := eval.M(nil); err == nil {
+		t.Fatal("expected error for empty clique")
+	}
+}
+
+func TestGreedyEndToEndOnGardenData(t *testing.T) {
+	eval, top := gardenEvaluator(t, 6)
+	p1, err := Greedy(top, eval, GreedyConfig{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := Greedy(top, eval, GreedyConfig{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	// Spatial correlation + expensive base: K=3 must not cost more than
+	// singletons, and should report fewer expected values.
+	if p3.TotalCost() > p1.TotalCost()+1e-9 {
+		t.Fatalf("K=3 cost %v worse than K=1 %v", p3.TotalCost(), p1.TotalCost())
+	}
+	if p3.ExpectedReported() >= p1.ExpectedReported() {
+		t.Fatalf("K=3 reports %v, K=1 reports %v", p3.ExpectedReported(), p1.ExpectedReported())
+	}
+}
+
+func TestGreedyWithinFactorOfExhaustive(t *testing.T) {
+	// The paper reports greedy within ~12% of optimal; allow 30% slack on
+	// our small instance to keep the test robust.
+	eval, top := gardenEvaluator(t, 5)
+	exh, err := Exhaustive(top, eval, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grd, err := Greedy(top, eval, GreedyConfig{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grd.TotalCost() > exh.TotalCost()*1.3+1e-9 {
+		t.Fatalf("greedy %v not within 30%% of exhaustive %v", grd.TotalCost(), exh.TotalCost())
+	}
+	if exh.TotalCost() > grd.TotalCost()+1e-9 {
+		t.Fatalf("exhaustive %v worse than greedy %v — DP broken", exh.TotalCost(), grd.TotalCost())
+	}
+}
+
+func TestPartitionJSONRoundTrip(t *testing.T) {
+	p := &Partition{Cliques: []Clique{
+		{Members: []int{0, 2}, Root: 1, M: 0.4, Intra: 2, Sink: 1.2},
+		{Members: []int{1}, Root: 1, M: 0.3, Intra: 0, Sink: 0.9},
+	}}
+	var buf bytes.Buffer
+	if err := SavePartition(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPartition(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != p.String() {
+		t.Fatalf("round trip: %s vs %s", got, p)
+	}
+	if got.TotalCost() != p.TotalCost() {
+		t.Fatalf("costs differ: %v vs %v", got.TotalCost(), p.TotalCost())
+	}
+}
+
+func TestLoadPartitionValidates(t *testing.T) {
+	if _, err := LoadPartition(strings.NewReader("junk"), 2); err == nil {
+		t.Fatal("expected parse error")
+	}
+	// Valid JSON but wrong coverage.
+	in := `{"cliques":[{"members":[0],"root":0}]}`
+	if _, err := LoadPartition(strings.NewReader(in), 2); err == nil {
+		t.Fatal("expected coverage error")
+	}
+	// Empty clique.
+	in = `{"cliques":[{"members":[],"root":0}]}`
+	if _, err := LoadPartition(strings.NewReader(in), 0); err == nil {
+		t.Fatal("expected empty-clique error")
+	}
+}
+
+// bruteForceBest enumerates every partition of {0..n-1} (by recursive
+// block assignment) and returns the minimum total cost under the evaluator
+// and clique-size cap.
+func bruteForceBest(t *testing.T, top *network.Topology, eval Evaluator, n, maxSize int) float64 {
+	t.Helper()
+	best := math.Inf(1)
+	var blocks [][]int
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			total := 0.0
+			for _, b := range blocks {
+				c, err := BuildClique(top, eval, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += c.Cost()
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for bi := range blocks {
+			if len(blocks[bi]) >= maxSize {
+				continue
+			}
+			blocks[bi] = append(blocks[bi], i)
+			rec(i + 1)
+			blocks[bi] = blocks[bi][:len(blocks[bi])-1]
+		}
+		blocks = append(blocks, []int{i})
+		rec(i + 1)
+		blocks = blocks[:len(blocks)-1]
+	}
+	rec(0)
+	return best
+}
+
+// TestExhaustiveMatchesBruteForce cross-checks the dynamic program against
+// full partition enumeration with randomised submodular-ish oracles.
+func TestExhaustiveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(3) // 4..6 attributes
+		// Random topology: chain + random extra links.
+		links := []network.Link{}
+		for i := 0; i < n; i++ {
+			links = append(links, network.Link{U: i, V: i + 1, Cost: 0.5 + rng.Float64()*2})
+		}
+		for e := 0; e < n; e++ {
+			u, v := rng.Intn(n+1), rng.Intn(n+1)
+			if u != v {
+				links = append(links, network.Link{U: u, V: v, Cost: 0.5 + rng.Float64()*4})
+			}
+		}
+		top, err := network.New(n, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random deterministic oracle: m grows sublinearly with clique
+		// size, scaled per lowest member, memoised for consistency.
+		memo := map[string]float64{}
+		scale := make([]float64, n)
+		for i := range scale {
+			scale[i] = 0.2 + rng.Float64()*0.6
+		}
+		eval := FuncEvaluator(func(clique []int) (float64, error) {
+			key := cliqueKey(clique)
+			if v, ok := memo[key]; ok {
+				return v, nil
+			}
+			m := 0.0
+			for _, i := range clique {
+				m += scale[i]
+			}
+			m *= 0.5 + 0.5/float64(len(clique)) // correlation discount
+			memo[key] = m
+			return m, nil
+		})
+		maxSize := 2 + rng.Intn(2)
+		p, err := Exhaustive(top, eval, maxSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(n); err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceBest(t, top, eval, n, maxSize)
+		if math.Abs(p.TotalCost()-want) > 1e-9 {
+			t.Fatalf("trial %d (n=%d, k=%d): DP cost %v, brute force %v",
+				trial, n, maxSize, p.TotalCost(), want)
+		}
+	}
+}
+
+// TestReplanAfterTopologyChange exercises the §6 dynamic-topology loop:
+// when a link degrades, recomputing path costs and re-running Greedy-k
+// yields a partition at least as cheap as keeping the stale one under the
+// new costs.
+func TestReplanAfterTopologyChange(t *testing.T) {
+	links := []network.Link{
+		{U: 0, V: 1, Cost: 1},
+		{U: 1, V: 2, Cost: 1},
+		{U: 2, V: 3, Cost: 1},
+		{U: 3, V: 4, Cost: 1}, // vertex 4 is the base
+		{U: 0, V: 4, Cost: 3},
+	}
+	top, err := network.New(4, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := sharedEval(0.4)
+	before, err := Greedy(top, eval, GreedyConfig{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 3→base link degrades badly.
+	degraded, err := top.UpdateLink(3, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replanned, err := Greedy(degraded, eval, GreedyConfig{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reprice the stale partition under the new topology.
+	stale := 0.0
+	for _, c := range before.Cliques {
+		repriced, err := BuildClique(degraded, eval, c.Members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stale += repriced.Cost()
+	}
+	if replanned.TotalCost() > stale+1e-9 {
+		t.Fatalf("replanning (%v) worse than stale plan (%v)", replanned.TotalCost(), stale)
+	}
+}
+
+// TestGreedyParallelDeterminism: the worker-pool evaluation must produce
+// the identical partition at any parallelism level.
+func TestGreedyParallelDeterminism(t *testing.T) {
+	eval, top := gardenEvaluator(t, 8)
+	var want string
+	for _, par := range []int{1, 2, 8} {
+		// Fresh evaluator per run so the cache cannot mask ordering bugs.
+		freshEval, freshTop := gardenEvaluator(t, 8)
+		_ = freshTop
+		p, err := Greedy(top, freshEval, GreedyConfig{K: 3, NeighborLimit: 5, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == "" {
+			want = p.String()
+			continue
+		}
+		if p.String() != want {
+			t.Fatalf("parallelism %d changed the partition: %s vs %s", par, p, want)
+		}
+	}
+	_ = eval
+}

@@ -1,0 +1,71 @@
+package cliques
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Partitions are planning artifacts computed once (model selection is the
+// expensive NP-hard step) and reused across deployments and experiments;
+// this file gives them a stable JSON form.
+
+// partitionJSON is the wire form of a Partition.
+type partitionJSON struct {
+	Cliques []cliqueJSON `json:"cliques"`
+}
+
+type cliqueJSON struct {
+	Members []int   `json:"members"`
+	Root    int     `json:"root"`
+	M       float64 `json:"m"`
+	Intra   float64 `json:"intra"`
+	Sink    float64 `json:"sink"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Partition) MarshalJSON() ([]byte, error) {
+	w := partitionJSON{Cliques: make([]cliqueJSON, len(p.Cliques))}
+	for i, c := range p.Cliques {
+		w.Cliques[i] = cliqueJSON{
+			Members: c.Members, Root: c.Root, M: c.M, Intra: c.Intra, Sink: c.Sink,
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Partition) UnmarshalJSON(data []byte) error {
+	var w partitionJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("cliques: %w", err)
+	}
+	p.Cliques = p.Cliques[:0]
+	for i, c := range w.Cliques {
+		if len(c.Members) == 0 {
+			return fmt.Errorf("cliques: json clique %d has no members", i)
+		}
+		p.Cliques = append(p.Cliques, Clique{
+			Members: c.Members, Root: c.Root, M: c.M, Intra: c.Intra, Sink: c.Sink,
+		})
+	}
+	return nil
+}
+
+// SavePartition writes the partition as JSON.
+func SavePartition(w io.Writer, p *Partition) error {
+	return json.NewEncoder(w).Encode(p)
+}
+
+// LoadPartition reads a partition written by SavePartition and validates
+// it against the expected attribute count.
+func LoadPartition(r io.Reader, n int) (*Partition, error) {
+	var p Partition
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("cliques: load: %w", err)
+	}
+	if err := p.Validate(n); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

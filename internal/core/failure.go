@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// FailureDetector implements §6 "Detection of Node Failures": when the base
+// station has not heard from a node (or clique) for a while, it must decide
+// between "the data is simply within bounds" and "the node is dead". Ken's
+// probabilistic machinery gives a principled answer: under the fitted
+// model, a report arrives each step with probability ≈ rate, so a silence
+// of s steps has probability (1 − rate)^s. The detector raises suspicion
+// once that probability falls below alpha.
+type FailureDetector struct {
+	rate   float64
+	alpha  float64
+	silent int
+}
+
+// NewFailureDetector builds a detector for a source whose expected per-step
+// report probability is rate (e.g. the Monte Carlo m_C of the node's
+// clique, capped at 1), with false-positive level alpha.
+func NewFailureDetector(rate, alpha float64) (*FailureDetector, error) {
+	if rate <= 0 || rate >= 1 {
+		return nil, fmt.Errorf("core: report rate %v must be in (0,1)", rate)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("core: alpha %v must be in (0,1)", alpha)
+	}
+	return &FailureDetector{rate: rate, alpha: alpha}, nil
+}
+
+// Observe records whether a report arrived this step and returns true when
+// the accumulated silence is too improbable for a live node.
+func (d *FailureDetector) Observe(reported bool) bool {
+	if reported {
+		d.silent = 0
+		return false
+	}
+	d.silent++
+	return d.Suspect()
+}
+
+// Suspect reports the current verdict without consuming a step.
+func (d *FailureDetector) Suspect() bool {
+	return float64(d.silent)*math.Log1p(-d.rate) < math.Log(d.alpha)
+}
+
+// SilentSteps returns the length of the current silence run.
+func (d *FailureDetector) SilentSteps() int { return d.silent }
+
+// SilenceThreshold returns the smallest silence length that triggers
+// suspicion — useful for documentation and tests.
+func (d *FailureDetector) SilenceThreshold() int {
+	return int(math.Ceil(math.Log(d.alpha) / math.Log1p(-d.rate)))
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ken/internal/cliques"
+	"ken/internal/model"
+	"ken/internal/network"
+)
+
+// ProbConfig enables probabilistic reporting (§6 "Probabilistic
+// Reporting"): the hard ε step function is relaxed so that small violations
+// are only reported with a probability that grows with the violation ratio,
+// p = 1 − exp(−Steepness·(ratio − 1)) for ratio = |error|/ε > 1. This
+// trades the deterministic guarantee for further communication savings —
+// gross violations are still reported almost surely, so errors stay
+// stochastically bounded. Run's audit then counts bound violations instead
+// of forbidding them.
+type ProbConfig struct {
+	// Steepness controls how fast the report probability rises past the
+	// bound. Large values approach the deterministic step function.
+	Steepness float64
+	// Seed drives the reporting coin flips.
+	Seed int64
+}
+
+// KenConfig assembles a Ken Disjoint-Cliques collection scheme.
+type KenConfig struct {
+	// Name labels the scheme in results; empty derives "DjCk" from the
+	// partition's maximum clique size.
+	Name string
+	// Partition assigns attributes to cliques with chosen roots (the M
+	// estimates inside are not used at runtime — real reports are counted).
+	Partition *cliques.Partition
+	// Train is the full training matrix used to fit one model per clique.
+	Train [][]float64
+	// Eps are the per-attribute error bounds.
+	Eps []float64
+	// FitCfg controls per-clique model learning (used by the default
+	// LinearGaussian factory).
+	FitCfg model.FitConfig
+	// ModelFactory, when non-nil, builds each clique's model from its
+	// training columns instead of the default FitLinearGaussian — the hook
+	// that runs richer model families (model.Switching, model.Adaptive)
+	// inside the Disjoint-Cliques engine. The returned model must satisfy
+	// the replicated determinism contract: clones stepped and conditioned
+	// identically stay identical.
+	ModelFactory func(train [][]float64) (model.Model, error)
+	// Topology prices messages; nil gives topology-independent accounting
+	// (zero intra cost, one unit per reported value).
+	Topology *network.Topology
+	// Exhaustive switches the minimal-report search from the greedy
+	// heuristic to exact subset enumeration (ablation).
+	Exhaustive bool
+	// Prob, when non-nil, enables probabilistic reporting.
+	Prob *ProbConfig
+}
+
+// kenClique is one clique's runtime state: the two replicated models.
+type kenClique struct {
+	members []int // global attribute indices, sorted
+	root    int
+	src     model.Model
+	sink    model.Model
+	eps     []float64 // clique-local bounds
+	intra   float64   // per-step collection cost at the root
+}
+
+// Ken is the paper's architecture: replicated dynamic probabilistic models
+// per clique, with the source transmitting minimal value subsets on
+// prediction misses (§3.2).
+type Ken struct {
+	name       string
+	n          int
+	cliques    []kenClique
+	top        *network.Topology
+	exhaustive bool
+	prob       *ProbConfig
+	rng        *rand.Rand
+}
+
+var _ Scheme = (*Ken)(nil)
+
+// NewKen fits per-clique models on the training data and wires up the
+// replicated source/sink pairs.
+func NewKen(cfg KenConfig) (*Ken, error) {
+	if cfg.Partition == nil {
+		return nil, fmt.Errorf("core: KenConfig needs a partition")
+	}
+	if len(cfg.Train) == 0 {
+		return nil, fmt.Errorf("core: KenConfig needs training data")
+	}
+	n := len(cfg.Train[0])
+	if len(cfg.Eps) != n {
+		return nil, fmt.Errorf("core: eps dim %d, training dim %d", len(cfg.Eps), n)
+	}
+	if err := cfg.Partition.Validate(n); err != nil {
+		return nil, err
+	}
+	if cfg.Topology != nil && cfg.Topology.N() != n {
+		return nil, fmt.Errorf("core: topology has %d nodes, data has %d", cfg.Topology.N(), n)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("DjC%d", cfg.Partition.MaxCliqueSize())
+	}
+	k := &Ken{
+		name:       name,
+		n:          n,
+		top:        cfg.Topology,
+		exhaustive: cfg.Exhaustive,
+		prob:       cfg.Prob,
+	}
+	if cfg.Prob != nil {
+		if cfg.Prob.Steepness <= 0 {
+			return nil, fmt.Errorf("core: probabilistic reporting needs positive steepness, got %v", cfg.Prob.Steepness)
+		}
+		k.rng = rand.New(rand.NewSource(cfg.Prob.Seed))
+	}
+	factory := cfg.ModelFactory
+	if factory == nil {
+		factory = func(train [][]float64) (model.Model, error) {
+			return model.FitLinearGaussian(train, cfg.FitCfg)
+		}
+	}
+	for _, c := range cfg.Partition.Cliques {
+		cols := projectColumns(cfg.Train, c.Members)
+		mdl, err := factory(cols)
+		if err != nil {
+			return nil, fmt.Errorf("core: fitting clique %v: %w", c.Members, err)
+		}
+		if mdl == nil || mdl.Dim() != len(c.Members) {
+			return nil, fmt.Errorf("core: model factory returned wrong dimension for clique %v", c.Members)
+		}
+		eps := make([]float64, len(c.Members))
+		for i, g := range c.Members {
+			if cfg.Eps[g] <= 0 {
+				return nil, fmt.Errorf("core: non-positive epsilon %v for attribute %d", cfg.Eps[g], g)
+			}
+			eps[i] = cfg.Eps[g]
+		}
+		intra := 0.0
+		if cfg.Topology != nil {
+			for _, g := range c.Members {
+				intra += cfg.Topology.Comm(g, c.Root)
+			}
+		}
+		k.cliques = append(k.cliques, kenClique{
+			members: append([]int(nil), c.Members...),
+			root:    c.Root,
+			src:     mdl.Clone(),
+			sink:    mdl.Clone(),
+			eps:     eps,
+			intra:   intra,
+		})
+	}
+	return k, nil
+}
+
+// projectColumns extracts the member columns of the full matrix.
+func projectColumns(rows [][]float64, members []int) [][]float64 {
+	out := make([][]float64, len(rows))
+	for t, row := range rows {
+		r := make([]float64, len(members))
+		for i, g := range members {
+			r[i] = row[g]
+		}
+		out[t] = r
+	}
+	return out
+}
+
+// Name implements Scheme.
+func (k *Ken) Name() string { return k.name }
+
+// Dim implements Scheme.
+func (k *Ken) Dim() int { return k.n }
+
+// Step implements Scheme: for every clique, advance both replicas, let the
+// source choose the minimal report set, deliver it, and read the sink's
+// answer (§3.2).
+func (k *Ken) Step(truth []float64) ([]float64, StepStats, error) {
+	if len(truth) != k.n {
+		return nil, StepStats{}, fmt.Errorf("core: truth dim %d, want %d", len(truth), k.n)
+	}
+	est := make([]float64, k.n)
+	var st StepStats
+	for ci := range k.cliques {
+		c := &k.cliques[ci]
+		local := make([]float64, len(c.members))
+		for i, g := range c.members {
+			local[i] = truth[g]
+		}
+		c.src.Step()
+		c.sink.Step()
+
+		obs, err := k.chooseReport(c, local)
+		if err != nil {
+			return nil, StepStats{}, err
+		}
+		if err := c.src.Condition(obs); err != nil {
+			return nil, StepStats{}, err
+		}
+		if err := c.sink.Condition(obs); err != nil {
+			return nil, StepStats{}, err
+		}
+
+		st.ValuesReported += len(obs)
+		for i := range obs {
+			st.Reported = append(st.Reported, c.members[i])
+		}
+		st.IntraCost += c.intra
+		if k.top == nil {
+			st.SinkCost += float64(len(obs))
+		} else {
+			st.SinkCost += float64(len(obs)) * k.top.CommToBase(c.root)
+		}
+		mean := c.sink.Mean()
+		for i, g := range c.members {
+			est[g] = mean[i]
+		}
+	}
+	return est, st, nil
+}
+
+// chooseReport runs the configured report-set policy on the source model.
+func (k *Ken) chooseReport(c *kenClique, local []float64) (map[int]float64, error) {
+	if k.prob != nil {
+		return k.chooseProbabilistic(c, local)
+	}
+	if k.exhaustive {
+		return model.ChooseReportExhaustive(c.src, local, c.eps)
+	}
+	return model.ChooseReportGreedy(c.src, local, c.eps)
+}
+
+// chooseProbabilistic implements §6's relaxed step function: attributes
+// within bounds are never reported; violating attributes flip a coin whose
+// success probability rises with the violation ratio, so small overshoots
+// are sometimes suppressed while gross ones almost always go out.
+func (k *Ken) chooseProbabilistic(c *kenClique, local []float64) (map[int]float64, error) {
+	mean := c.src.Mean()
+	obs := map[int]float64{}
+	for i := range local {
+		ratio := math.Abs(mean[i]-local[i]) / c.eps[i]
+		if ratio <= 1 {
+			continue
+		}
+		p := 1 - math.Exp(-k.prob.Steepness*(ratio-1))
+		if k.rng.Float64() < p {
+			obs[i] = local[i]
+		}
+	}
+	return obs, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ken/internal/model"
+)
+
+// LossyConfig parameterises the message-loss robustness extension (§6
+// "Robustness to Message Loss"). Reports are dropped independently with
+// LossRate; every HeartbeatEvery steps the source transmits all current
+// values as a heartbeat, re-synchronising the replicas. Because the models
+// are Markovian, conditioning both replicas on the full heartbeat makes the
+// future independent of the divergent past — inconsistencies are transient.
+type LossyConfig struct {
+	// LossRate is the probability a report message never reaches the sink.
+	LossRate float64
+	// HeartbeatEvery triggers a full-value heartbeat each time this many
+	// steps elapse; 0 disables heartbeats.
+	HeartbeatEvery int
+	// Seed drives the loss coin flips.
+	Seed int64
+}
+
+// LossyKen runs the Ken protocol over an unreliable channel. The source
+// conditions its replica on everything it sends (it cannot know what was
+// lost); the sink conditions only on what arrives, so the replicas diverge
+// until the next heartbeat. Run's audit counts the resulting ε violations.
+type LossyKen struct {
+	ken  *Ken
+	cfg  LossyConfig
+	rng  *rand.Rand
+	step int
+
+	// Heartbeats counts heartbeat rounds issued.
+	Heartbeats int
+	// LostMessages counts dropped report values.
+	LostMessages int
+}
+
+var _ Scheme = (*LossyKen)(nil)
+
+// NewLossyKen builds a Ken scheme (from kcfg) wrapped with loss injection.
+func NewLossyKen(kcfg KenConfig, lcfg LossyConfig) (*LossyKen, error) {
+	if lcfg.LossRate < 0 || lcfg.LossRate >= 1 {
+		return nil, fmt.Errorf("core: loss rate %v outside [0,1)", lcfg.LossRate)
+	}
+	if lcfg.HeartbeatEvery < 0 {
+		return nil, fmt.Errorf("core: negative heartbeat interval %d", lcfg.HeartbeatEvery)
+	}
+	if kcfg.Prob != nil {
+		return nil, fmt.Errorf("core: probabilistic reporting and loss injection cannot be combined")
+	}
+	k, err := NewKen(kcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LossyKen{
+		ken: k,
+		cfg: lcfg,
+		rng: rand.New(rand.NewSource(lcfg.Seed)),
+	}, nil
+}
+
+// Name implements Scheme.
+func (l *LossyKen) Name() string { return l.ken.name + "-lossy" }
+
+// Dim implements Scheme.
+func (l *LossyKen) Dim() int { return l.ken.n }
+
+// Step implements Scheme.
+func (l *LossyKen) Step(truth []float64) ([]float64, StepStats, error) {
+	k := l.ken
+	if len(truth) != k.n {
+		return nil, StepStats{}, fmt.Errorf("core: truth dim %d, want %d", len(truth), k.n)
+	}
+	l.step++
+	heartbeat := l.cfg.HeartbeatEvery > 0 && l.step%l.cfg.HeartbeatEvery == 0
+	if heartbeat {
+		l.Heartbeats++
+	}
+
+	est := make([]float64, k.n)
+	var st StepStats
+	for ci := range k.cliques {
+		c := &k.cliques[ci]
+		local := make([]float64, len(c.members))
+		for i, g := range c.members {
+			local[i] = truth[g]
+		}
+		c.src.Step()
+		c.sink.Step()
+
+		var obs map[int]float64
+		var err error
+		if heartbeat {
+			// Heartbeats carry every clique value and are delivered
+			// reliably (acked end-to-end).
+			obs = make(map[int]float64, len(local))
+			for i, v := range local {
+				obs[i] = v
+			}
+		} else {
+			obs, err = model.ChooseReportGreedy(c.src, local, c.eps)
+			if err != nil {
+				return nil, StepStats{}, err
+			}
+		}
+
+		// The source believes everything it sent.
+		if err := c.src.Condition(obs); err != nil {
+			return nil, StepStats{}, err
+		}
+		// The sink receives each value subject to loss (heartbeats exempt).
+		delivered := obs
+		if !heartbeat && l.cfg.LossRate > 0 {
+			delivered = make(map[int]float64, len(obs))
+			for i, v := range obs {
+				if l.rng.Float64() < l.cfg.LossRate {
+					l.LostMessages++
+					continue
+				}
+				delivered[i] = v
+			}
+		}
+		if err := c.sink.Condition(delivered); err != nil {
+			return nil, StepStats{}, err
+		}
+
+		st.ValuesReported += len(obs)
+		for i := range obs {
+			st.Reported = append(st.Reported, c.members[i])
+		}
+		st.IntraCost += c.intra
+		if k.top == nil {
+			st.SinkCost += float64(len(obs))
+		} else {
+			st.SinkCost += float64(len(obs)) * k.top.CommToBase(c.root)
+		}
+		mean := c.sink.Mean()
+		for i, g := range c.members {
+			est[g] = mean[i]
+		}
+	}
+	return est, st, nil
+}

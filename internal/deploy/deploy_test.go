@@ -1,0 +1,84 @@
+package deploy
+
+import (
+	"testing"
+
+	"ken/internal/stream"
+)
+
+func TestBuildDefaults(t *testing.T) {
+	dep, err := Build(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.N != 11 {
+		t.Fatalf("garden N = %d", dep.N)
+	}
+	if len(dep.Test) != 500 {
+		t.Fatalf("test steps = %d", len(dep.Test))
+	}
+	if err := dep.Partition.Validate(dep.N); err != nil {
+		t.Fatal(err)
+	}
+	if dep.Partition.MaxCliqueSize() > 2 {
+		t.Fatalf("default K=2 violated: %s", dep.Partition)
+	}
+}
+
+func TestBuildUnknownDataset(t *testing.T) {
+	if _, err := Build(Params{Dataset: "mars"}); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestBuildDeterministicAcrossProcesses(t *testing.T) {
+	// The property the two binaries rely on: identical parameters yield
+	// identical partitions and lock-stepped replicas.
+	p := Params{Dataset: "garden", Seed: 9, TrainSteps: 100, TestSteps: 150, K: 3}
+	a, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Partition.String() != b.Partition.String() {
+		t.Fatalf("partitions differ: %s vs %s", a.Partition, b.Partition)
+	}
+	src, err := stream.NewSource(a.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := stream.NewReplica(b.Config) // built from the "other process"
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range a.Test {
+		f, err := src.Collect(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Apply(f); err != nil {
+			t.Fatal(err)
+		}
+		est := sink.Estimates()
+		for i := range row {
+			if d := est[i] - row[i]; d > 0.5+1e-9 || d < -0.5-1e-9 {
+				t.Fatalf("cross-process replicas violated ε: %v vs %v", est[i], row[i])
+			}
+		}
+	}
+}
+
+func TestBuildEpsilonOverride(t *testing.T) {
+	dep, err := Build(Params{Epsilon: 2.0, TestSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range dep.Config.Eps {
+		if e != 2.0 {
+			t.Fatalf("eps = %v, want override 2.0", e)
+		}
+	}
+}

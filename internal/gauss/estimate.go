@@ -1,0 +1,120 @@
+package gauss
+
+import (
+	"fmt"
+
+	"ken/internal/mat"
+)
+
+// EstimateMean returns the per-column sample mean of data, where data[t] is
+// one observation vector at time t.
+func EstimateMean(data [][]float64) ([]float64, error) {
+	if len(data) == 0 {
+		return nil, ErrEmpty
+	}
+	n := len(data[0])
+	mean := make([]float64, n)
+	for t, row := range data {
+		if len(row) != n {
+			return nil, fmt.Errorf("gauss: row %d has dim %d, want %d", t, len(row), n)
+		}
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(data))
+	}
+	return mean, nil
+}
+
+// EstimateCov returns the unbiased sample covariance of data around mean.
+// A small ridge (relative to the average variance) keeps the result usable
+// by Cholesky even when attributes are perfectly correlated in the training
+// window.
+func EstimateCov(data [][]float64, mean []float64, ridge float64) (*mat.Dense, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("gauss: need >= 2 samples to estimate covariance, got %d", len(data))
+	}
+	n := len(mean)
+	cov := mat.NewDense(n, n)
+	for t, row := range data {
+		if len(row) != n {
+			return nil, fmt.Errorf("gauss: row %d has dim %d, want %d", t, len(row), n)
+		}
+		for i := 0; i < n; i++ {
+			di := row[i] - mean[i]
+			for j := i; j < n; j++ {
+				cov.Add(i, j, di*(row[j]-mean[j]))
+			}
+		}
+	}
+	norm := 1 / float64(len(data)-1)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := cov.At(i, j) * norm
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	if ridge > 0 {
+		avgVar := 0.0
+		for i := 0; i < n; i++ {
+			avgVar += cov.At(i, i)
+		}
+		avgVar /= float64(n)
+		if avgVar == 0 {
+			avgVar = 1
+		}
+		for i := 0; i < n; i++ {
+			cov.Add(i, i, ridge*avgVar)
+		}
+	}
+	return cov, nil
+}
+
+// Estimate fits a Gaussian to the rows of data with the given relative
+// ridge on the covariance diagonal.
+func Estimate(data [][]float64, ridge float64) (*Gaussian, error) {
+	mean, err := EstimateMean(data)
+	if err != nil {
+		return nil, err
+	}
+	cov, err := EstimateCov(data, mean, ridge)
+	if err != nil {
+		return nil, err
+	}
+	return New(mean, cov)
+}
+
+// CrossCov returns the n×m sample cross-covariance between paired rows of
+// x (dim n) and y (dim m): E[(x−μx)(y−μy)ᵀ]. Used to fit the lag-1
+// transition model from consecutive trace rows.
+func CrossCov(x, y [][]float64, muX, muY []float64) (*mat.Dense, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("gauss: cross-cov sample counts %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return nil, fmt.Errorf("gauss: need >= 2 samples for cross-covariance, got %d", len(x))
+	}
+	n, m := len(muX), len(muY)
+	out := mat.NewDense(n, m)
+	for t := range x {
+		if len(x[t]) != n || len(y[t]) != m {
+			return nil, fmt.Errorf("gauss: cross-cov row %d dims (%d,%d), want (%d,%d)", t, len(x[t]), len(y[t]), n, m)
+		}
+		for i := 0; i < n; i++ {
+			dx := x[t][i] - muX[i]
+			for j := 0; j < m; j++ {
+				out.Add(i, j, dx*(y[t][j]-muY[j]))
+			}
+		}
+	}
+	norm := 1 / float64(len(x)-1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			out.Set(i, j, out.At(i, j)*norm)
+		}
+	}
+	return out, nil
+}

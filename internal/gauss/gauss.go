@@ -1,0 +1,387 @@
+// Package gauss implements the multivariate Gaussian machinery at the heart
+// of Ken's dynamic probabilistic models (ICDE'06 §3.1): probability density
+// evaluation, marginalisation, conditioning on observed attribute subsets,
+// sampling, and parameter estimation from training traces.
+//
+// Conditioning is the operation Ken performs when the source transmits a
+// subset of observed values to the sink: both replicas update
+// p(X | X_obs = x_obs) and continue from the conditioned distribution.
+package gauss
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ken/internal/mat"
+)
+
+// ErrEmpty is returned when an operation needs at least one variable or
+// sample and none was supplied.
+var ErrEmpty = errors.New("gauss: empty input")
+
+// Gaussian is an n-dimensional Gaussian distribution N(mean, cov).
+// The zero value is not usable; construct with New.
+type Gaussian struct {
+	mean []float64
+	cov  *mat.Dense
+}
+
+// New constructs a Gaussian from a mean vector and covariance matrix.
+// The inputs are copied. The covariance must be square, symmetric (within
+// floating-point tolerance; it is symmetrised), and match the mean length.
+func New(mean []float64, cov *mat.Dense) (*Gaussian, error) {
+	n := len(mean)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if cov.Rows() != n || cov.Cols() != n {
+		return nil, fmt.Errorf("gauss: cov is %dx%d, mean has dim %d", cov.Rows(), cov.Cols(), n)
+	}
+	m := make([]float64, n)
+	copy(m, mean)
+	c := cov.Clone()
+	c.Symmetrize()
+	return &Gaussian{mean: m, cov: c}, nil
+}
+
+// MustNew is New panicking on error, for statically-correct literals in
+// tests and examples.
+func MustNew(mean []float64, cov *mat.Dense) *Gaussian {
+	g, err := New(mean, cov)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Dim returns the dimensionality n.
+func (g *Gaussian) Dim() int { return len(g.mean) }
+
+// Mean returns a copy of the mean vector. In Ken the mean is the sink's
+// approximate answer X̂ to the SELECT * query.
+func (g *Gaussian) Mean() []float64 {
+	out := make([]float64, len(g.mean))
+	copy(out, g.mean)
+	return out
+}
+
+// Cov returns a copy of the covariance matrix.
+func (g *Gaussian) Cov() *mat.Dense { return g.cov.Clone() }
+
+// Var returns the marginal variance of variable i.
+func (g *Gaussian) Var(i int) float64 { return g.cov.At(i, i) }
+
+// Clone returns a deep copy.
+func (g *Gaussian) Clone() *Gaussian {
+	return &Gaussian{mean: g.Mean(), cov: g.cov.Clone()}
+}
+
+// LogPDF evaluates the log density at x.
+func (g *Gaussian) LogPDF(x []float64) (float64, error) {
+	n := g.Dim()
+	if len(x) != n {
+		return 0, fmt.Errorf("gauss: LogPDF input dim %d, want %d", len(x), n)
+	}
+	ch, err := mat.NewCholesky(g.cov)
+	if err != nil {
+		return 0, fmt.Errorf("gauss: covariance not PD: %w", err)
+	}
+	d := mat.SubVec(x, g.mean)
+	sol, err := ch.SolveVec(d)
+	if err != nil {
+		return 0, err
+	}
+	quad := mat.Dot(d, sol)
+	return -0.5 * (float64(n)*math.Log(2*math.Pi) + ch.LogDet() + quad), nil
+}
+
+// PDF evaluates the density at x.
+func (g *Gaussian) PDF(x []float64) (float64, error) {
+	lp, err := g.LogPDF(x)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(lp), nil
+}
+
+// Marginal returns the marginal distribution of the variables at idx, in
+// that order. For Gaussians marginalisation is simply selection of the
+// corresponding mean entries and covariance block.
+func (g *Gaussian) Marginal(idx []int) (*Gaussian, error) {
+	if len(idx) == 0 {
+		return nil, ErrEmpty
+	}
+	for _, i := range idx {
+		if i < 0 || i >= g.Dim() {
+			return nil, fmt.Errorf("gauss: marginal index %d out of range %d", i, g.Dim())
+		}
+	}
+	return &Gaussian{
+		mean: mat.Select(g.mean, idx),
+		cov:  g.cov.Submatrix(idx, idx),
+	}, nil
+}
+
+// Condition returns the conditional distribution of the remaining variables
+// given the observations obs (variable index → observed value). This is the
+// model update both Ken replicas apply when a subset of values is reported
+// (paper §3.2, source step 4 / sink step 2).
+//
+// The returned keep slice lists, in order, the original indices of the
+// variables of the conditional distribution. If every variable is observed,
+// Condition returns (nil, nil, nil): the posterior is a point mass.
+func (g *Gaussian) Condition(obs map[int]float64) (cond *Gaussian, keep []int, err error) {
+	n := g.Dim()
+	if len(obs) == 0 {
+		return g.Clone(), identityIndex(n), nil
+	}
+	obsIdx := make([]int, 0, len(obs))
+	for i := range obs {
+		if i < 0 || i >= n {
+			return nil, nil, fmt.Errorf("gauss: condition index %d out of range %d", i, n)
+		}
+		obsIdx = append(obsIdx, i)
+	}
+	sortInts(obsIdx)
+	keep = complementIndex(n, obsIdx)
+	if len(keep) == 0 {
+		return nil, nil, nil
+	}
+
+	// Partition: a = kept, b = observed.
+	// μ_a|b = μ_a + Σ_ab Σ_bb⁻¹ (x_b − μ_b)
+	// Σ_a|b = Σ_aa − Σ_ab Σ_bb⁻¹ Σ_ba
+	sigAA := g.cov.Submatrix(keep, keep)
+	sigAB := g.cov.Submatrix(keep, obsIdx)
+	sigBB := g.cov.Submatrix(obsIdx, obsIdx)
+
+	chBB, err := mat.NewCholesky(sigBB)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gauss: observed block not PD: %w", err)
+	}
+	// delta = x_b − μ_b
+	delta := make([]float64, len(obsIdx))
+	for k, i := range obsIdx {
+		delta[k] = obs[i] - g.mean[i]
+	}
+	w, err := chBB.SolveVec(delta) // Σ_bb⁻¹ δ
+	if err != nil {
+		return nil, nil, err
+	}
+	adj, err := sigAB.MulVec(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	muCond := mat.AddVec(mat.Select(g.mean, keep), adj)
+
+	// Σ_bb⁻¹ Σ_ba via Cholesky solve, no explicit inverse.
+	solved, err := chBB.Solve(sigAB.T())
+	if err != nil {
+		return nil, nil, err
+	}
+	corr, err := sigAB.Mul(solved)
+	if err != nil {
+		return nil, nil, err
+	}
+	covCond, err := sigAA.SubMat(corr)
+	if err != nil {
+		return nil, nil, err
+	}
+	covCond.Symmetrize()
+	return &Gaussian{mean: muCond, cov: covCond}, keep, nil
+}
+
+// ConditionalMean returns only the full-length conditional mean: observed
+// positions take their observed values, unobserved positions take their
+// conditional expectations. This is the sink's post-report answer vector and
+// the quantity the source checks against ε.
+func (g *Gaussian) ConditionalMean(obs map[int]float64) ([]float64, error) {
+	n := g.Dim()
+	out := make([]float64, n)
+	cond, keep, err := g.Condition(obs)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := obs[i]; ok {
+			out[i] = v
+		}
+	}
+	if cond != nil {
+		cm := cond.Mean()
+		for k, i := range keep {
+			out[i] = cm[k]
+		}
+	}
+	return out, nil
+}
+
+// Sample draws one sample using the provided random source.
+func (g *Gaussian) Sample(rng *rand.Rand) ([]float64, error) {
+	ch, err := mat.NewCholesky(g.cov)
+	if err != nil {
+		return nil, fmt.Errorf("gauss: covariance not PD: %w", err)
+	}
+	z := make([]float64, g.Dim())
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	lz, err := ch.MulLVec(z)
+	if err != nil {
+		return nil, err
+	}
+	return mat.AddVec(g.mean, lz), nil
+}
+
+// Entropy returns the differential entropy in nats.
+func (g *Gaussian) Entropy() (float64, error) {
+	ch, err := mat.NewCholesky(g.cov)
+	if err != nil {
+		return 0, err
+	}
+	n := float64(g.Dim())
+	return 0.5*ch.LogDet() + 0.5*n*(1+math.Log(2*math.Pi)), nil
+}
+
+func identityIndex(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// complementIndex returns {0..n-1} \ sortedIdx, in increasing order.
+func complementIndex(n int, sortedIdx []int) []int {
+	out := make([]int, 0, n-len(sortedIdx))
+	k := 0
+	for i := 0; i < n; i++ {
+		if k < len(sortedIdx) && sortedIdx[k] == i {
+			k++
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+func sortInts(a []int) {
+	// Insertion sort: observation sets are tiny (clique-sized).
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// KL returns the Kullback–Leibler divergence D(g‖other) in nats:
+//
+//	½ [ tr(Σ₂⁻¹Σ₁) + (μ₂−μ₁)ᵀΣ₂⁻¹(μ₂−μ₁) − n + ln(|Σ₂|/|Σ₁|) ]
+//
+// A drift monitor can compare a refit model's state against the deployed
+// one to decide whether re-synchronising parameters is worth the traffic.
+func (g *Gaussian) KL(other *Gaussian) (float64, error) {
+	n := g.Dim()
+	if other.Dim() != n {
+		return 0, fmt.Errorf("gauss: KL dims %d vs %d", n, other.Dim())
+	}
+	ch1, err := mat.NewCholesky(g.cov)
+	if err != nil {
+		return 0, fmt.Errorf("gauss: first covariance not PD: %w", err)
+	}
+	ch2, err := mat.NewCholesky(other.cov)
+	if err != nil {
+		return 0, fmt.Errorf("gauss: second covariance not PD: %w", err)
+	}
+	// tr(Σ₂⁻¹Σ₁) via solves.
+	solved, err := ch2.Solve(g.cov)
+	if err != nil {
+		return 0, err
+	}
+	tr := 0.0
+	for i := 0; i < n; i++ {
+		tr += solved.At(i, i)
+	}
+	d := mat.SubVec(other.mean, g.mean)
+	w, err := ch2.SolveVec(d)
+	if err != nil {
+		return 0, err
+	}
+	quad := mat.Dot(d, w)
+	return 0.5 * (tr + quad - float64(n) + ch2.LogDet() - ch1.LogDet()), nil
+}
+
+// ConditionNoisy is Condition for imperfect observations: each reported
+// value is modelled as the true attribute plus independent zero-mean
+// Gaussian noise with the given variance (ADC quantisation, sensor noise).
+// Exact conditioning is the special case of zero noise variances. Unlike
+// Condition, observed attributes retain posterior uncertainty, so the
+// full-dimensional posterior over all n variables is returned.
+//
+// This is the measurement update of a Kalman filter: with H selecting the
+// observed block and R the diagonal noise covariance,
+//
+//	K = Σ Hᵀ (H Σ Hᵀ + R)⁻¹,  μ ← μ + K(z − Hμ),  Σ ← Σ − K H Σ.
+func (g *Gaussian) ConditionNoisy(obs map[int]float64, noiseVar map[int]float64) (*Gaussian, error) {
+	n := g.Dim()
+	if len(obs) == 0 {
+		return g.Clone(), nil
+	}
+	obsIdx := make([]int, 0, len(obs))
+	for i := range obs {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("gauss: condition index %d out of range %d", i, n)
+		}
+		obsIdx = append(obsIdx, i)
+	}
+	sortInts(obsIdx)
+	for i, v := range noiseVar {
+		if _, ok := obs[i]; !ok {
+			return nil, fmt.Errorf("gauss: noise variance for unobserved attribute %d", i)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("gauss: negative noise variance %v for attribute %d", v, i)
+		}
+	}
+
+	all := identityIndex(n)
+	sigAll := g.cov.Submatrix(all, obsIdx) // Σ Hᵀ, n×m
+	sigBB := g.cov.Submatrix(obsIdx, obsIdx)
+	for k, i := range obsIdx {
+		sigBB.Add(k, k, noiseVar[i])
+	}
+	ch, err := mat.NewCholesky(sigBB)
+	if err != nil {
+		return nil, fmt.Errorf("gauss: innovation covariance not PD: %w", err)
+	}
+	delta := make([]float64, len(obsIdx))
+	for k, i := range obsIdx {
+		delta[k] = obs[i] - g.mean[i]
+	}
+	w, err := ch.SolveVec(delta)
+	if err != nil {
+		return nil, err
+	}
+	adj, err := sigAll.MulVec(w)
+	if err != nil {
+		return nil, err
+	}
+	mean := mat.AddVec(g.mean, adj)
+
+	solved, err := ch.Solve(sigAll.T()) // (HΣHᵀ+R)⁻¹ H Σ, m×n
+	if err != nil {
+		return nil, err
+	}
+	corr, err := sigAll.Mul(solved) // ΣHᵀ(HΣHᵀ+R)⁻¹HΣ, n×n
+	if err != nil {
+		return nil, err
+	}
+	cov, err := g.cov.SubMat(corr)
+	if err != nil {
+		return nil, err
+	}
+	cov.Symmetrize()
+	return New(mean, cov)
+}

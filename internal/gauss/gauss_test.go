@@ -1,0 +1,556 @@
+package gauss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ken/internal/mat"
+)
+
+func std2D() *Gaussian {
+	return MustNew([]float64{0, 0}, mat.Identity(2))
+}
+
+// corr2D builds a 2-D Gaussian with unit variances and correlation rho.
+func corr2D(mu1, mu2, rho float64) *Gaussian {
+	cov := mat.NewDenseFrom([][]float64{{1, rho}, {rho, 1}})
+	return MustNew([]float64{mu1, mu2}, cov)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, mat.Identity(0)); err == nil {
+		t.Fatal("expected error for empty mean")
+	}
+	if _, err := New([]float64{1}, mat.Identity(2)); err == nil {
+		t.Fatal("expected error for dim mismatch")
+	}
+}
+
+func TestMeanCovCopies(t *testing.T) {
+	g := std2D()
+	m := g.Mean()
+	m[0] = 42
+	if g.Mean()[0] != 0 {
+		t.Fatal("Mean returned a view")
+	}
+	c := g.Cov()
+	c.Set(0, 0, 42)
+	if g.Cov().At(0, 0) != 1 {
+		t.Fatal("Cov returned a view")
+	}
+}
+
+func TestLogPDFStandardNormal(t *testing.T) {
+	g := MustNew([]float64{0}, mat.Identity(1))
+	lp, err := g.LogPDF([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -0.5 * math.Log(2*math.Pi)
+	if math.Abs(lp-want) > 1e-12 {
+		t.Fatalf("LogPDF(0) = %v, want %v", lp, want)
+	}
+	p, err := g.PDF([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Fatalf("PDF(0) = %v", p)
+	}
+}
+
+func TestLogPDFQuadraticTerm(t *testing.T) {
+	g := MustNew([]float64{3}, mat.Diag([]float64{4}))
+	lp, err := g.LogPDF([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N(3, 4) at 5: -0.5(log 2π + log 4 + (2²)/4)
+	want := -0.5 * (math.Log(2*math.Pi) + math.Log(4) + 1)
+	if math.Abs(lp-want) > 1e-12 {
+		t.Fatalf("LogPDF = %v, want %v", lp, want)
+	}
+}
+
+func TestMarginal(t *testing.T) {
+	cov := mat.NewDenseFrom([][]float64{
+		{4, 1, 0},
+		{1, 9, 2},
+		{0, 2, 16},
+	})
+	g := MustNew([]float64{1, 2, 3}, cov)
+	m, err := g.Marginal([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 2 {
+		t.Fatalf("dim = %d, want 2", m.Dim())
+	}
+	if got := m.Mean(); got[0] != 3 || got[1] != 1 {
+		t.Fatalf("marginal mean = %v, want [3 1]", got)
+	}
+	if m.Var(0) != 16 || m.Var(1) != 4 || m.Cov().At(0, 1) != 0 {
+		t.Fatalf("marginal cov = %v", m.Cov())
+	}
+}
+
+func TestMarginalErrors(t *testing.T) {
+	g := std2D()
+	if _, err := g.Marginal(nil); err == nil {
+		t.Fatal("expected error for empty index set")
+	}
+	if _, err := g.Marginal([]int{5}); err == nil {
+		t.Fatal("expected error for out-of-range index")
+	}
+}
+
+func TestConditionBivariate(t *testing.T) {
+	// Classic result: for unit variances and correlation ρ,
+	// X1 | X2 = x ~ N(μ1 + ρ(x − μ2), 1 − ρ²).
+	rho := 0.8
+	g := corr2D(10, 20, rho)
+	cond, keep, err := g.Condition(map[int]float64{1: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != 1 || keep[0] != 0 {
+		t.Fatalf("keep = %v, want [0]", keep)
+	}
+	wantMean := 10 + rho*(22-20)
+	if got := cond.Mean()[0]; math.Abs(got-wantMean) > 1e-10 {
+		t.Fatalf("conditional mean = %v, want %v", got, wantMean)
+	}
+	wantVar := 1 - rho*rho
+	if got := cond.Var(0); math.Abs(got-wantVar) > 1e-10 {
+		t.Fatalf("conditional var = %v, want %v", got, wantVar)
+	}
+}
+
+func TestConditionNoObservations(t *testing.T) {
+	g := corr2D(1, 2, 0.5)
+	cond, keep, err := g.Condition(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != 2 {
+		t.Fatalf("keep = %v", keep)
+	}
+	if !cond.Cov().Equal(g.Cov(), 1e-12) {
+		t.Fatal("conditioning on nothing changed the covariance")
+	}
+}
+
+func TestConditionAllObserved(t *testing.T) {
+	g := corr2D(1, 2, 0.5)
+	cond, keep, err := g.Condition(map[int]float64{0: 1.5, 1: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond != nil || keep != nil {
+		t.Fatal("conditioning on all variables should return point mass (nil)")
+	}
+}
+
+func TestConditionOutOfRange(t *testing.T) {
+	g := std2D()
+	if _, _, err := g.Condition(map[int]float64{7: 1}); err == nil {
+		t.Fatal("expected error for out-of-range observation index")
+	}
+}
+
+func TestConditionIndependentUnchanged(t *testing.T) {
+	// With zero correlation, conditioning must not move the other variable.
+	g := corr2D(5, 6, 0)
+	cond, _, err := g.Condition(map[int]float64{1: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cond.Mean()[0]; math.Abs(got-5) > 1e-12 {
+		t.Fatalf("independent conditional mean moved: %v", got)
+	}
+	if got := cond.Var(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("independent conditional var changed: %v", got)
+	}
+}
+
+func TestConditionalMean(t *testing.T) {
+	rho := 0.5
+	g := corr2D(0, 0, rho)
+	cm, err := g.ConditionalMean(map[int]float64{0: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm[0] != 2 {
+		t.Fatalf("observed position = %v, want exact observed value", cm[0])
+	}
+	if math.Abs(cm[1]-rho*2) > 1e-10 {
+		t.Fatalf("conditional mean of unobserved = %v, want %v", cm[1], rho*2)
+	}
+}
+
+func TestConditionalMeanAllObserved(t *testing.T) {
+	g := std2D()
+	cm, err := g.ConditionalMean(map[int]float64{0: 7, 1: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm[0] != 7 || cm[1] != 8 {
+		t.Fatalf("cm = %v", cm)
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := corr2D(3, -2, 0.7)
+	const N = 20000
+	sum := []float64{0, 0}
+	sumSq := []float64{0, 0}
+	sumXY := 0.0
+	for i := 0; i < N; i++ {
+		x, err := g.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum[0] += x[0]
+		sum[1] += x[1]
+		sumSq[0] += (x[0] - 3) * (x[0] - 3)
+		sumSq[1] += (x[1] + 2) * (x[1] + 2)
+		sumXY += (x[0] - 3) * (x[1] + 2)
+	}
+	if m := sum[0] / N; math.Abs(m-3) > 0.05 {
+		t.Fatalf("sample mean[0] = %v, want ~3", m)
+	}
+	if m := sum[1] / N; math.Abs(m+2) > 0.05 {
+		t.Fatalf("sample mean[1] = %v, want ~-2", m)
+	}
+	if v := sumSq[0] / N; math.Abs(v-1) > 0.05 {
+		t.Fatalf("sample var[0] = %v, want ~1", v)
+	}
+	if c := sumXY / N; math.Abs(c-0.7) > 0.05 {
+		t.Fatalf("sample cov = %v, want ~0.7", c)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	g := MustNew([]float64{0}, mat.Diag([]float64{1}))
+	h, err := g.Entropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * math.Log(2*math.Pi*math.E)
+	if math.Abs(h-want) > 1e-12 {
+		t.Fatalf("Entropy = %v, want %v", h, want)
+	}
+}
+
+func TestEstimateMeanCov(t *testing.T) {
+	data := [][]float64{{1, 10}, {2, 20}, {3, 30}}
+	mean, err := EstimateMean(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean[0] != 2 || mean[1] != 20 {
+		t.Fatalf("mean = %v, want [2 20]", mean)
+	}
+	cov, err := EstimateCov(data, mean, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cov.At(0, 0)-1) > 1e-12 {
+		t.Fatalf("var[0] = %v, want 1", cov.At(0, 0))
+	}
+	if math.Abs(cov.At(0, 1)-10) > 1e-12 {
+		t.Fatalf("cov = %v, want 10", cov.At(0, 1))
+	}
+	if math.Abs(cov.At(1, 1)-100) > 1e-12 {
+		t.Fatalf("var[1] = %v, want 100", cov.At(1, 1))
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := EstimateMean(nil); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	if _, err := EstimateCov([][]float64{{1}}, []float64{1}, 0); err == nil {
+		t.Fatal("expected error on single sample")
+	}
+	if _, err := EstimateMean([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("expected error on ragged data")
+	}
+}
+
+func TestEstimateRidgeRescuesDegenerate(t *testing.T) {
+	// Two perfectly correlated attributes: covariance is singular without
+	// ridge; Estimate with ridge must produce a usable Gaussian.
+	data := make([][]float64, 50)
+	rng := rand.New(rand.NewSource(12))
+	for t := range data {
+		v := rng.NormFloat64()
+		data[t] = []float64{v, v}
+	}
+	g, err := Estimate(data, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.LogPDF([]float64{0, 0}); err != nil {
+		t.Fatalf("ridge-regularised Gaussian unusable: %v", err)
+	}
+}
+
+func TestCrossCov(t *testing.T) {
+	// y = 2x ⇒ cross-cov = 2·var(x).
+	x := [][]float64{{1}, {2}, {3}}
+	y := [][]float64{{2}, {4}, {6}}
+	muX, _ := EstimateMean(x)
+	muY, _ := EstimateMean(y)
+	cc, err := CrossCov(x, y, muX, muY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cc.At(0, 0)-2) > 1e-12 {
+		t.Fatalf("cross-cov = %v, want 2", cc.At(0, 0))
+	}
+}
+
+func TestCrossCovErrors(t *testing.T) {
+	if _, err := CrossCov([][]float64{{1}}, [][]float64{{1}, {2}}, []float64{0}, []float64{0}); err == nil {
+		t.Fatal("expected error on mismatched sample counts")
+	}
+	if _, err := CrossCov([][]float64{{1}}, [][]float64{{1}}, []float64{0}, []float64{0}); err == nil {
+		t.Fatal("expected error on too few samples")
+	}
+}
+
+// Property: conditioning never increases any retained variable's variance.
+func TestQuickConditioningShrinksVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		// Random SPD covariance.
+		b := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b.Set(i, j, r.NormFloat64())
+			}
+		}
+		cov, _ := b.Mul(b.T())
+		for i := 0; i < n; i++ {
+			cov.Add(i, i, 0.5)
+		}
+		mean := make([]float64, n)
+		for i := range mean {
+			mean[i] = r.NormFloat64() * 10
+		}
+		g, err := New(mean, cov)
+		if err != nil {
+			return false
+		}
+		// Observe a random non-empty strict subset.
+		k := 1 + r.Intn(n-1)
+		perm := r.Perm(n)
+		obs := map[int]float64{}
+		for _, i := range perm[:k] {
+			obs[i] = r.NormFloat64() * 10
+		}
+		cond, keep, err := g.Condition(obs)
+		if err != nil {
+			return false
+		}
+		for pos, i := range keep {
+			if cond.Var(pos) > g.Var(i)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marginalising then conditioning equals conditioning then
+// marginalising for disjoint index sets (Gaussian consistency).
+func TestQuickMarginalConditionConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(4)
+		b := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b.Set(i, j, r.NormFloat64())
+			}
+		}
+		cov, _ := b.Mul(b.T())
+		for i := 0; i < n; i++ {
+			cov.Add(i, i, 1)
+		}
+		mean := make([]float64, n)
+		g, err := New(mean, cov)
+		if err != nil {
+			return false
+		}
+		obsVal := r.NormFloat64() * 3
+		// Condition full joint on X_{n-1}, then look at variable 0.
+		condFull, keep, err := g.Condition(map[int]float64{n - 1: obsVal})
+		if err != nil {
+			return false
+		}
+		pos := -1
+		for p, i := range keep {
+			if i == 0 {
+				pos = p
+			}
+		}
+		// Marginalise to {0, n-1}, then condition on X_{n-1}.
+		marg, err := g.Marginal([]int{0, n - 1})
+		if err != nil {
+			return false
+		}
+		condMarg, _, err := marg.Condition(map[int]float64{1: obsVal})
+		if err != nil {
+			return false
+		}
+		return math.Abs(condFull.Mean()[pos]-condMarg.Mean()[0]) < 1e-8 &&
+			math.Abs(condFull.Var(pos)-condMarg.Var(0)) < 1e-8
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: estimated mean/cov from samples of a known Gaussian converge.
+func TestEstimateRecoversParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := corr2D(1, 2, -0.6)
+	data := make([][]float64, 8000)
+	for i := range data {
+		x, err := g.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[i] = x
+	}
+	est, err := Estimate(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := est.Mean(); math.Abs(m[0]-1) > 0.08 || math.Abs(m[1]-2) > 0.08 {
+		t.Fatalf("estimated mean = %v", m)
+	}
+	if c := est.Cov(); math.Abs(c.At(0, 1)+0.6) > 0.08 {
+		t.Fatalf("estimated corr = %v", c.At(0, 1))
+	}
+}
+
+func TestKLProperties(t *testing.T) {
+	g1 := corr2D(0, 0, 0.5)
+	g2 := corr2D(1, -1, 0.2)
+	// Self-divergence is zero.
+	if d, err := g1.KL(g1); err != nil || math.Abs(d) > 1e-10 {
+		t.Fatalf("KL(g,g) = %v, %v", d, err)
+	}
+	// Non-negative and asymmetric in general.
+	d12, err := g1.KL(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d21, err := g2.KL(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d12 <= 0 || d21 <= 0 {
+		t.Fatalf("KL must be positive for distinct Gaussians: %v, %v", d12, d21)
+	}
+	// Closed-form check for 1-D: D(N(0,1)‖N(m,1)) = m²/2.
+	a := MustNew([]float64{0}, mat.Diag([]float64{1}))
+	b := MustNew([]float64{2}, mat.Diag([]float64{1}))
+	d, err := a.KL(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-2) > 1e-10 {
+		t.Fatalf("KL = %v, want 2", d)
+	}
+	// Dimension mismatch.
+	if _, err := a.KL(g1); err == nil {
+		t.Fatal("expected dim error")
+	}
+}
+
+func TestConditionNoisyZeroNoiseMatchesExact(t *testing.T) {
+	g := corr2D(10, 20, 0.8)
+	noisy, err := g.ConditionNoisy(map[int]float64{1: 22}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, keep, err := g.Condition(map[int]float64{1: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keep[0] != 0 {
+		t.Fatal("unexpected keep")
+	}
+	if math.Abs(noisy.Mean()[0]-exact.Mean()[0]) > 1e-9 {
+		t.Fatalf("noiseless update mean %v vs exact %v", noisy.Mean()[0], exact.Mean()[0])
+	}
+	if math.Abs(noisy.Var(0)-exact.Var(0)) > 1e-9 {
+		t.Fatalf("noiseless update var %v vs exact %v", noisy.Var(0), exact.Var(0))
+	}
+	// The observed attribute collapses to the observation.
+	if math.Abs(noisy.Mean()[1]-22) > 1e-9 || noisy.Var(1) > 1e-9 {
+		t.Fatalf("observed attribute not collapsed: mean %v var %v", noisy.Mean()[1], noisy.Var(1))
+	}
+}
+
+func TestConditionNoisyLargeNoiseBarelyMoves(t *testing.T) {
+	g := corr2D(10, 20, 0.8)
+	noisy, err := g.ConditionNoisy(map[int]float64{1: 30}, map[int]float64{1: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(noisy.Mean()[1]-20) > 0.01 {
+		t.Fatalf("huge-noise observation moved the mean to %v", noisy.Mean()[1])
+	}
+	if noisy.Var(1) < 0.99 {
+		t.Fatalf("huge-noise observation removed variance: %v", noisy.Var(1))
+	}
+}
+
+func TestConditionNoisyInterpolates(t *testing.T) {
+	// Standard 1-D Kalman: prior N(0,1), observation 2 with R=1 → posterior
+	// mean 1, variance 0.5.
+	g := MustNew([]float64{0}, mat.Diag([]float64{1}))
+	post, err := g.ConditionNoisy(map[int]float64{0: 2}, map[int]float64{0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post.Mean()[0]-1) > 1e-10 {
+		t.Fatalf("posterior mean %v, want 1", post.Mean()[0])
+	}
+	if math.Abs(post.Var(0)-0.5) > 1e-10 {
+		t.Fatalf("posterior var %v, want 0.5", post.Var(0))
+	}
+}
+
+func TestConditionNoisyValidation(t *testing.T) {
+	g := std2D()
+	if _, err := g.ConditionNoisy(map[int]float64{9: 1}, nil); err == nil {
+		t.Fatal("expected error for out-of-range index")
+	}
+	if _, err := g.ConditionNoisy(map[int]float64{0: 1}, map[int]float64{1: 1}); err == nil {
+		t.Fatal("expected error for noise on unobserved attribute")
+	}
+	if _, err := g.ConditionNoisy(map[int]float64{0: 1}, map[int]float64{0: -1}); err == nil {
+		t.Fatal("expected error for negative noise variance")
+	}
+	same, err := g.ConditionNoisy(nil, nil)
+	if err != nil || !same.Cov().Equal(g.Cov(), 0) {
+		t.Fatal("empty observation should clone")
+	}
+}

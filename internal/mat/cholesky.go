@@ -1,0 +1,166 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky is the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ. It supports solves against vectors and
+// matrices, inversion, and log-determinant — everything Gaussian
+// conditioning needs without ever forming an explicit inverse.
+type Cholesky struct {
+	n int
+	l *Dense // lower triangular, upper part zero
+}
+
+// NewCholesky factorises the symmetric matrix a. Only the lower triangle of
+// a is read. If a is merely positive semi-definite (common for covariance
+// matrices of near-deterministic attributes), a tiny diagonal jitter
+// proportional to the matrix scale is added before failing outright.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: cholesky of %dx%d", ErrDimension, a.rows, a.cols)
+	}
+	n := a.rows
+	if c, ok := tryCholesky(a, 0); ok {
+		return &Cholesky{n: n, l: c}, nil
+	}
+	// Retry with escalating jitter: covariance matrices assembled from
+	// finite samples are often PSD-but-not-PD.
+	scale := a.MaxAbs()
+	if scale == 0 {
+		scale = 1
+	}
+	for _, eps := range []float64{1e-12, 1e-10, 1e-8} {
+		if c, ok := tryCholesky(a, eps*scale); ok {
+			return &Cholesky{n: n, l: c}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: matrix not positive definite", ErrSingular)
+}
+
+// tryCholesky attempts the factorisation of a + jitter·I, returning the
+// factor and whether it succeeded.
+func tryCholesky(a *Dense, jitter float64) (*Dense, bool) {
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j) + jitter
+		for k := 0; k < j; k++ {
+			ljk := l.data[j*n+k]
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, false
+		}
+		ljj := math.Sqrt(d)
+		l.data[j*n+j] = ljj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.data[i*n+k] * l.data[j*n+k]
+			}
+			l.data[i*n+j] = s / ljj
+		}
+	}
+	return l, true
+}
+
+// Size returns the dimension n.
+func (c *Cholesky) Size() int { return c.n }
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Dense { return c.l.Clone() }
+
+// SolveVec solves A·x = b and returns x.
+func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("%w: solve len %d, want %d", ErrDimension, len(b), c.n)
+	}
+	y := make([]float64, c.n)
+	copy(y, b)
+	c.forwardSolve(y)
+	c.backSolve(y)
+	return y, nil
+}
+
+// Solve solves A·X = B column-by-column and returns X.
+func (c *Cholesky) Solve(b *Dense) (*Dense, error) {
+	if b.rows != c.n {
+		return nil, fmt.Errorf("%w: solve %dx%d against order %d", ErrDimension, b.rows, b.cols, c.n)
+	}
+	out := NewDense(c.n, b.cols)
+	col := make([]float64, c.n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < c.n; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		c.forwardSolve(col)
+		c.backSolve(col)
+		for i := 0; i < c.n; i++ {
+			out.data[i*out.cols+j] = col[i]
+		}
+	}
+	return out, nil
+}
+
+// forwardSolve solves L·y = b in place.
+func (c *Cholesky) forwardSolve(b []float64) {
+	n := c.n
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := c.l.data[i*n : i*n+i]
+		for k, lik := range row {
+			s -= lik * b[k]
+		}
+		b[i] = s / c.l.data[i*n+i]
+	}
+}
+
+// backSolve solves Lᵀ·x = y in place.
+func (c *Cholesky) backSolve(b []float64) {
+	n := c.n
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.data[k*n+i] * b[k]
+		}
+		b[i] = s / c.l.data[i*n+i]
+	}
+}
+
+// Inverse returns A⁻¹ as a new matrix.
+func (c *Cholesky) Inverse() (*Dense, error) {
+	return c.Solve(Identity(c.n))
+}
+
+// LogDet returns log|A| = 2·Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l.data[i*c.n+i])
+	}
+	return 2 * s
+}
+
+// Det returns |A|.
+func (c *Cholesky) Det() float64 { return math.Exp(c.LogDet()) }
+
+// MulLVec returns L·v, used to transform standard normal samples into
+// samples with covariance A.
+func (c *Cholesky) MulLVec(v []float64) ([]float64, error) {
+	if len(v) != c.n {
+		return nil, fmt.Errorf("%w: MulLVec len %d, want %d", ErrDimension, len(v), c.n)
+	}
+	out := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		s := 0.0
+		row := c.l.data[i*c.n : i*c.n+i+1]
+		for k, lik := range row {
+			s += lik * v[k]
+		}
+		out[i] = s
+	}
+	return out, nil
+}

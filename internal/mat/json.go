@@ -1,0 +1,40 @@
+package mat
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// denseJSON is the wire form of a Dense matrix: a slice of row slices.
+type denseJSON struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Dense) MarshalJSON() ([]byte, error) {
+	rows := make([][]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		rows[i] = m.Row(i)
+	}
+	return json.Marshal(denseJSON{Rows: rows})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Dense) UnmarshalJSON(data []byte) error {
+	var dj denseJSON
+	if err := json.Unmarshal(data, &dj); err != nil {
+		return fmt.Errorf("mat: %w", err)
+	}
+	if len(dj.Rows) == 0 {
+		*m = *NewDense(0, 0)
+		return nil
+	}
+	cols := len(dj.Rows[0])
+	for i, r := range dj.Rows {
+		if len(r) != cols {
+			return fmt.Errorf("mat: json row %d has %d cols, want %d", i, len(r), cols)
+		}
+	}
+	*m = *NewDenseFrom(dj.Rows)
+	return nil
+}

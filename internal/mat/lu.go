@@ -1,0 +1,118 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU is an LU factorisation with partial pivoting, P·A = L·U. It serves the
+// few places that need a general (non-symmetric) solve, such as inverting a
+// learned VAR transition matrix when checking model stability.
+type LU struct {
+	n    int
+	lu   *Dense // packed L (unit diagonal, below) and U (on and above)
+	piv  []int  // row permutation
+	sign int    // determinant sign from pivoting
+}
+
+// NewLU factorises the square matrix a.
+func NewLU(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: LU of %dx%d", ErrDimension, a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest magnitude in column k at or below row k.
+		p := k
+		max := math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.data[i*n+k]); a > max {
+				max, p = a, i
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu.data[p*n+j], lu.data[k*n+j] = lu.data[k*n+j], lu.data[p*n+j]
+			}
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivot := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := lu.data[i*n+k] / pivot
+			lu.data[i*n+k] = f
+			for j := k + 1; j < n; j++ {
+				lu.data[i*n+j] -= f * lu.data[k*n+j]
+			}
+		}
+	}
+	return &LU{n: n, lu: lu, piv: piv, sign: sign}, nil
+}
+
+// SolveVec solves A·x = b.
+func (f *LU) SolveVec(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("%w: solve len %d, want %d", ErrDimension, len(b), f.n)
+	}
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward: L·y = Pb (unit diagonal).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= f.lu.data[i*n+k] * x[k]
+		}
+		x[i] = s
+	}
+	// Back: U·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.lu.data[i*n+k] * x[k]
+		}
+		x[i] = s / f.lu.data[i*n+i]
+	}
+	return x, nil
+}
+
+// Solve solves A·X = B column-by-column.
+func (f *LU) Solve(b *Dense) (*Dense, error) {
+	if b.rows != f.n {
+		return nil, fmt.Errorf("%w: solve %dx%d against order %d", ErrDimension, b.rows, b.cols, f.n)
+	}
+	out := NewDense(f.n, b.cols)
+	for j := 0; j < b.cols; j++ {
+		x, err := f.SolveVec(b.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < f.n; i++ {
+			out.data[i*out.cols+j] = x[i]
+		}
+	}
+	return out, nil
+}
+
+// Inverse returns A⁻¹.
+func (f *LU) Inverse() (*Dense, error) { return f.Solve(Identity(f.n)) }
+
+// Det returns the determinant of A.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu.data[i*f.n+i]
+	}
+	return d
+}

@@ -1,0 +1,506 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZero(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 3.5)
+	m.Add(0, 1, 1.5)
+	if got := m.At(0, 1); got != 5 {
+		t.Fatalf("At(0,1) = %v, want 5", got)
+	}
+}
+
+func TestNewDenseFrom(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestNewDenseFromRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	NewDenseFrom([][]float64{{1, 2}, {3}})
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := NewDense(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("I(%d,%d) = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	m := Diag([]float64{2, 3})
+	if m.At(0, 0) != 2 || m.At(1, 1) != 3 || m.At(0, 1) != 0 {
+		t.Fatalf("unexpected diag matrix: %v", m)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("Row returned a view, want a copy")
+	}
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("Col(1) = %v, want [2 4]", c)
+	}
+}
+
+func TestSetRow(t *testing.T) {
+	m := NewDense(2, 3)
+	m.SetRow(1, []float64{7, 8, 9})
+	if m.At(1, 2) != 9 {
+		t.Fatalf("At(1,2) = %v, want 9", m.At(1, 2))
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("T shape = %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 {
+		t.Fatalf("T(2,1) = %v, want 6", tr.At(2, 1))
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFrom([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewDenseFrom([][]float64{{19, 22}, {43, 50}})
+	if !c.Equal(want, 1e-12) {
+		t.Fatalf("a*b = %v, want %v", c, want)
+	}
+}
+
+func TestMulDimensionError(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	v, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("a*v = %v, want [3 7]", v)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := Identity(2)
+	sum, err := a.AddMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(0, 0) != 2 || sum.At(1, 1) != 5 {
+		t.Fatalf("sum = %v", sum)
+	}
+	diff, err := sum.SubMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equal(a, 1e-12) {
+		t.Fatalf("(a+I)-I = %v, want %v", diff, a)
+	}
+	if s := a.Scale(2); s.At(1, 1) != 8 {
+		t.Fatalf("scale = %v", s)
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := a.Submatrix([]int{2, 0}, []int{1})
+	if s.Rows() != 2 || s.Cols() != 1 || s.At(0, 0) != 8 || s.At(1, 0) != 2 {
+		t.Fatalf("submatrix = %v", s)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {4, 3}})
+	a.Symmetrize()
+	if a.At(0, 1) != 3 || a.At(1, 0) != 3 {
+		t.Fatalf("symmetrized = %v", a)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, -9}, {4, 3}})
+	if a.MaxAbs() != 9 {
+		t.Fatalf("MaxAbs = %v, want 9", a.MaxAbs())
+	}
+}
+
+// randomSPD builds a random symmetric positive definite matrix B·Bᵀ + n·I.
+func randomSPD(rng *rand.Rand, n int) *Dense {
+	b := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	bt := b.T()
+	spd, _ := b.Mul(bt)
+	for i := 0; i < n; i++ {
+		spd.Add(i, i, float64(n))
+	}
+	return spd
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		l := ch.L()
+		llt, _ := l.Mul(l.T())
+		if !llt.Equal(a, 1e-8) {
+			t.Fatalf("n=%d: L·Lᵀ ≠ A (max diff matters)", n)
+		}
+	}
+}
+
+func TestCholeskySolveVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomSPD(rng, 6)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 6)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b, _ := a.MulVec(want)
+	got, err := ch.SolveVec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("solve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCholeskyInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSPD(rng, 5)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := ch.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := a.Mul(inv)
+	if !prod.Equal(Identity(5), 1e-8) {
+		t.Fatalf("A·A⁻¹ ≠ I:\n%v", prod)
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	a := Diag([]float64{2, 3, 4})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(24)
+	if got := ch.LogDet(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("LogDet = %v, want %v", got, want)
+	}
+	if got := ch.Det(); math.Abs(got-24) > 1e-9 {
+		t.Fatalf("Det = %v, want 24", got)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 0}, {0, -5}})
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}
+
+func TestCholeskyPSDJitter(t *testing.T) {
+	// Rank-1 PSD matrix: should succeed via jitter.
+	a := NewDenseFrom([][]float64{{1, 1}, {1, 1}})
+	if _, err := NewCholesky(a); err != nil {
+		t.Fatalf("PSD matrix should factor with jitter: %v", err)
+	}
+}
+
+func TestCholeskyMulLVec(t *testing.T) {
+	a := Diag([]float64{4, 9})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ch.MulLVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[0]-2) > 1e-12 || math.Abs(v[1]-3) > 1e-12 {
+		t.Fatalf("L·v = %v, want [2 3]", v)
+	}
+}
+
+func TestLUSolveAndDet(t *testing.T) {
+	a := NewDenseFrom([][]float64{{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}})
+	lu, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	b, _ := a.MulVec(want)
+	got, err := lu.SolveVec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("solve = %v, want %v", got, want)
+		}
+	}
+	// det([[0,2,1],[1,-2,-3],[-1,1,2]]) = 1 (cofactor expansion along row 0).
+	if d := lu.Det(); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("Det = %v, want 1", d)
+	}
+}
+
+func TestLUInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 6
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		a.Add(i, i, float64(n)) // diagonally dominant, well conditioned
+	}
+	lu, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := lu.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := a.Mul(inv)
+	if !prod.Equal(Identity(n), 1e-8) {
+		t.Fatal("A·A⁻¹ ≠ I")
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := NewLU(a); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v, want 32", Dot(a, b))
+	}
+	if s := AddVec(a, b); s[2] != 9 {
+		t.Fatalf("AddVec = %v", s)
+	}
+	if d := SubVec(b, a); d[0] != 3 {
+		t.Fatalf("SubVec = %v", d)
+	}
+	if s := ScaleVec(2, a); s[1] != 4 {
+		t.Fatalf("ScaleVec = %v", s)
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-12 {
+		t.Fatal("Norm2(3,4) != 5")
+	}
+	if NormInf([]float64{-7, 2}) != 7 {
+		t.Fatal("NormInf != 7")
+	}
+	if Mean(a) != 2 {
+		t.Fatal("Mean != 2")
+	}
+	if v := Variance([]float64{1, 2, 3}); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("Variance = %v, want 1", v)
+	}
+	if got := Select(b, []int{2, 0}); got[0] != 6 || got[1] != 4 {
+		t.Fatalf("Select = %v", got)
+	}
+	o := Outer([]float64{1, 2}, []float64{3, 4})
+	if o.At(1, 0) != 6 {
+		t.Fatalf("Outer = %v", o)
+	}
+}
+
+func TestVarianceDegenerate(t *testing.T) {
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("Variance of singleton should be 0")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean of empty should be 0")
+	}
+}
+
+// Property: for random SPD A and random b, Cholesky solve satisfies A·x ≈ b.
+func TestQuickCholeskySolveResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := randomSPD(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64() * 10
+		}
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		x, err := ch.SolveVec(b)
+		if err != nil {
+			return false
+		}
+		ax, _ := a.MulVec(x)
+		return NormInf(SubVec(ax, b)) < 1e-6*(1+NormInf(b))
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose is an involution and (A·B)ᵀ = Bᵀ·Aᵀ.
+func TestQuickTransposeProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a := NewDense(m, k)
+		b := NewDense(k, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < n; j++ {
+				b.Set(i, j, r.NormFloat64())
+			}
+		}
+		if !a.T().T().Equal(a, 0) {
+			return false
+		}
+		ab, _ := a.Mul(b)
+		btat, _ := b.T().Mul(a.T())
+		return ab.T().Equal(btat, 1e-10)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LU solve residual is small for diagonally dominant matrices.
+func TestQuickLUSolveResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			a.Add(i, i, float64(2*n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64() * 5
+		}
+		lu, err := NewLU(a)
+		if err != nil {
+			return false
+		}
+		x, err := lu.SolveVec(b)
+		if err != nil {
+			return false
+		}
+		ax, _ := a.MulVec(x)
+		return NormInf(SubVec(ax, b)) < 1e-7*(1+NormInf(b))
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

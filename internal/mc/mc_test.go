@@ -1,0 +1,182 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"ken/internal/model"
+	"ken/internal/trace"
+)
+
+// noisyConstant returns a 1-attribute random-walk model with the given
+// per-step innovation SD.
+func noisyConstant(t *testing.T, sd float64) *model.Constant {
+	t.Helper()
+	c, err := model.NewConstant([]float64{0}, []float64{sd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExpectedReportsValidation(t *testing.T) {
+	c := noisyConstant(t, 1)
+	if _, err := ExpectedReports(nil, []float64{1}, Config{}); err == nil {
+		t.Fatal("expected error for nil model")
+	}
+	if _, err := ExpectedReports(c, []float64{1, 2}, Config{}); err == nil {
+		t.Fatal("expected error for eps dim mismatch")
+	}
+	if _, err := ExpectedReports(c, []float64{0}, Config{}); err == nil {
+		t.Fatal("expected error for zero epsilon")
+	}
+}
+
+func TestExpectedReportsDeterministic(t *testing.T) {
+	c := noisyConstant(t, 1)
+	cfg := Config{Trajectories: 4, Horizon: 30, Seed: 7}
+	a, err := ExpectedReports(c, []float64{0.5}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExpectedReports(c, []float64{0.5}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave %v and %v", a, b)
+	}
+}
+
+func TestExpectedReportsMonotoneInEpsilon(t *testing.T) {
+	// A looser bound must never require more reports.
+	c := noisyConstant(t, 1)
+	cfg := Config{Trajectories: 16, Horizon: 60, Seed: 3}
+	tight, err := ExpectedReports(c, []float64{0.3}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := ExpectedReports(c, []float64{3}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose > tight {
+		t.Fatalf("loose ε reported more: %v > %v", loose, tight)
+	}
+	if tight <= 0 || tight > 1 {
+		t.Fatalf("tight rate out of range: %v", tight)
+	}
+}
+
+func TestExpectedReportsTinyNoiseNearZero(t *testing.T) {
+	// Innovations far below ε: almost nothing should be reported.
+	c := noisyConstant(t, 0.01)
+	m, err := ExpectedReports(c, []float64{1}, Config{Trajectories: 8, Horizon: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m > 0.1 {
+		t.Fatalf("near-deterministic model reported %v of steps", m)
+	}
+}
+
+func TestExpectedReportsHugeNoiseNearOne(t *testing.T) {
+	// Innovations far above ε: nearly every step must report.
+	c := noisyConstant(t, 10)
+	m, err := ExpectedReports(c, []float64{0.1}, Config{Trajectories: 8, Horizon: 50, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 0.9 {
+		t.Fatalf("unpredictable model reported only %v of steps", m)
+	}
+}
+
+func TestCorrelatedCliqueBeatsIndependent(t *testing.T) {
+	// Two highly correlated garden attributes in one multivariate model
+	// should need fewer reported values than two independent single models
+	// — the core premise of the Disjoint-Cliques family.
+	tr, err := trace.GenerateGarden(41, 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tr.Rows(trace.Temperature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := make([][]float64, 200)
+	for i := range pair {
+		pair[i] = []float64{rows[i][0], rows[i][1]}
+	}
+	joint, err := model.FitLinearGaussian(pair, model.FitConfig{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Trajectories: 12, Horizon: 60, Seed: 9}
+	eps := []float64{0.5, 0.5}
+	mJoint, err := ExpectedReports(joint, eps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single := make([][]float64, 200)
+	for i := range single {
+		single[i] = []float64{rows[i][0]}
+	}
+	m1, err := model.FitLinearGaussian(single, model.FitConfig{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSingle, err := ExpectedReports(m1, []float64{0.5}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mJoint >= 2*mSingle {
+		t.Fatalf("joint model (%v) no better than 2 independents (2×%v)", mJoint, mSingle)
+	}
+}
+
+func TestExpectedStepsToMiss(t *testing.T) {
+	c := noisyConstant(t, 1)
+	cfg := Config{Trajectories: 32, Horizon: 100, Seed: 11}
+	steps, err := ExpectedStepsToMiss(c, 0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A unit-SD random walk against ε = 0.5 misses almost immediately.
+	if steps < 1 || steps > 3 {
+		t.Fatalf("steps to miss = %v, want ~1-2", steps)
+	}
+	stepsLoose, err := ExpectedStepsToMiss(c, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepsLoose <= steps {
+		t.Fatalf("looser bound should survive longer: %v vs %v", stepsLoose, steps)
+	}
+	// Paper's identity: reduction factor ≈ 1/E[steps to miss].
+	m, err := ExpectedReports(c, []float64{0.5}, Config{Trajectories: 32, Horizon: 100, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv := 1 / steps; math.Abs(m-inv) > 0.25 {
+		t.Fatalf("m=%v vs 1/E[steps]=%v disagree badly", m, inv)
+	}
+}
+
+func TestExpectedStepsToMissValidation(t *testing.T) {
+	if _, err := ExpectedStepsToMiss(nil, 1, Config{}); err == nil {
+		t.Fatal("expected error for nil model")
+	}
+	two, err := model.NewConstant([]float64{0, 0}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpectedStepsToMiss(two, 1, Config{}); err == nil {
+		t.Fatal("expected error for multi-attribute model")
+	}
+	c := noisyConstant(t, 1)
+	if _, err := ExpectedStepsToMiss(c, 0, Config{}); err == nil {
+		t.Fatal("expected error for zero epsilon")
+	}
+}

@@ -1,0 +1,394 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ken/internal/gauss"
+	"ken/internal/mat"
+)
+
+// LinearGaussian is the paper's workhorse model (Example 3.3, §5.1): a
+// time-varying multivariate Gaussian over a clique of attributes. The
+// attribute vector is decomposed into a seasonal (diurnal) mean profile
+// plus a residual that follows a VAR(1) process with correlated Gaussian
+// innovations:
+//
+//	x(t) = profile[t mod period] + r(t),   r(t+1) = A·r(t) + w,  w ~ N(0, Q)
+//
+// The model state is the Gaussian belief over the current residual; Step
+// pushes it through the transition (inflating uncertainty by Q), Condition
+// collapses it on reported values via Gaussian conditioning. Because the
+// transition and conditioning are deterministic given the same inputs, two
+// clones remain in lock-step — the replicated-model invariant of Ken.
+type LinearGaussian struct {
+	n       int
+	a       *mat.Dense    // shared, immutable after fit
+	q       *mat.Dense    // shared, immutable after fit
+	qChol   *mat.Cholesky // lazily built, shared
+	profile [][]float64   // period × n seasonal means; shared, immutable
+	period  int
+	clock   int
+	state   *gauss.Gaussian // belief over the residual r(clock)
+}
+
+var (
+	_ Model   = (*LinearGaussian)(nil)
+	_ Sampler = (*LinearGaussian)(nil)
+)
+
+// FitConfig controls LinearGaussian learning.
+type FitConfig struct {
+	// Period is the number of steps per seasonal cycle (24 for hourly
+	// samples with diurnal behaviour). Zero or one disables seasonality.
+	// The seasonal profile is only used when the training data covers at
+	// least two full cycles.
+	Period int
+	// Ridge is the relative ridge regularisation for the VAR solve and the
+	// innovation covariance. Defaults to 1e-6 when zero.
+	Ridge float64
+	// DiagonalA restricts the transition matrix to a diagonal (independent
+	// AR(1) per attribute). Spatial correlation then only enters through
+	// the innovation covariance Q. This is the paper's implicit structure
+	// for small cliques and an ablation point for larger ones.
+	DiagonalA bool
+}
+
+// FitLinearGaussian learns a LinearGaussian from training rows
+// (data[t][i] = attribute i at step t). The returned model's clock is at
+// the last training row with a point-mass state on it, so the first Step
+// predicts the first post-training step.
+func FitLinearGaussian(data [][]float64, cfg FitConfig) (*LinearGaussian, error) {
+	T := len(data)
+	if T < 4 {
+		return nil, fmt.Errorf("model: FitLinearGaussian needs >= 4 rows, got %d", T)
+	}
+	n := len(data[0])
+	if n == 0 {
+		return nil, fmt.Errorf("model: training rows are empty")
+	}
+	for t, row := range data {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: row %d has %d attributes, want %d", ErrDim, t, len(row), n)
+		}
+	}
+	ridge := cfg.Ridge
+	if ridge <= 0 {
+		ridge = 1e-6
+	}
+
+	profile, period := seasonalProfile(data, cfg.Period)
+
+	// Residuals around the seasonal profile.
+	res := make([][]float64, T)
+	for t, row := range data {
+		p := profile[t%period]
+		r := make([]float64, n)
+		for i := range row {
+			r[i] = row[i] - p[i]
+		}
+		res[t] = r
+	}
+
+	a, err := fitVAR(res, ridge, cfg.DiagonalA)
+	if err != nil {
+		return nil, err
+	}
+
+	// Innovation covariance from one-step fit errors.
+	errs := make([][]float64, 0, T-1)
+	for t := 0; t < T-1; t++ {
+		pred, err := a.MulVec(res[t])
+		if err != nil {
+			return nil, err
+		}
+		errs = append(errs, mat.SubVec(res[t+1], pred))
+	}
+	mu, err := gauss.EstimateMean(errs)
+	if err != nil {
+		return nil, err
+	}
+	q, err := gauss.EstimateCov(errs, mu, ridge)
+	if err != nil {
+		return nil, err
+	}
+
+	state, err := gauss.New(res[T-1], mat.NewDense(n, n))
+	if err != nil {
+		return nil, err
+	}
+	return &LinearGaussian{
+		n:       n,
+		a:       a,
+		q:       q,
+		profile: profile,
+		period:  period,
+		clock:   T - 1,
+		state:   state,
+	}, nil
+}
+
+// seasonalProfile returns the per-phase mean rows and the effective period.
+// When the requested period is unusable (shorter than 2 or not covered at
+// least twice by the data) it degrades to a single global-mean phase.
+func seasonalProfile(data [][]float64, period int) ([][]float64, int) {
+	T, n := len(data), len(data[0])
+	if period < 2 || T < 2*period {
+		mean := make([]float64, n)
+		for _, row := range data {
+			for i, v := range row {
+				mean[i] += v
+			}
+		}
+		for i := range mean {
+			mean[i] /= float64(T)
+		}
+		return [][]float64{mean}, 1
+	}
+	profile := make([][]float64, period)
+	counts := make([]int, period)
+	for p := range profile {
+		profile[p] = make([]float64, n)
+	}
+	for t, row := range data {
+		p := t % period
+		counts[p]++
+		for i, v := range row {
+			profile[p][i] += v
+		}
+	}
+	for p := range profile {
+		for i := range profile[p] {
+			profile[p][i] /= float64(counts[p])
+		}
+	}
+	return profile, period
+}
+
+// fitVAR solves the ridge least-squares problem R1 ≈ R0·Aᵀ for the
+// transition matrix A over residual rows.
+func fitVAR(res [][]float64, ridge float64, diagonal bool) (*mat.Dense, error) {
+	T := len(res) - 1
+	n := len(res[0])
+	if diagonal {
+		a := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			var sxx, sxy float64
+			for t := 0; t < T; t++ {
+				sxx += res[t][i] * res[t][i]
+				sxy += res[t][i] * res[t+1][i]
+			}
+			den := sxx + ridge*(1+sxx/float64(T))
+			if den == 0 {
+				a.Set(i, i, 0)
+			} else {
+				a.Set(i, i, sxy/den)
+			}
+		}
+		return a, nil
+	}
+	// Normal equations: (R0ᵀR0 + λI)·Aᵀ = R0ᵀR1.
+	xtx := mat.NewDense(n, n)
+	xty := mat.NewDense(n, n)
+	for t := 0; t < T; t++ {
+		for i := 0; i < n; i++ {
+			xi := res[t][i]
+			if xi == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				xtx.Add(i, j, xi*res[t][j])
+				xty.Add(i, j, xi*res[t+1][j])
+			}
+		}
+	}
+	lambda := ridge * (traceOf(xtx)/float64(n) + 1)
+	for i := 0; i < n; i++ {
+		xtx.Add(i, i, lambda)
+	}
+	ch, err := mat.NewCholesky(xtx)
+	if err != nil {
+		return nil, fmt.Errorf("model: VAR normal equations: %w", err)
+	}
+	at, err := ch.Solve(xty)
+	if err != nil {
+		return nil, err
+	}
+	return at.T(), nil
+}
+
+func traceOf(m *mat.Dense) float64 {
+	s := 0.0
+	for i := 0; i < m.Rows(); i++ {
+		s += m.At(i, i)
+	}
+	return s
+}
+
+// Dim implements Model.
+func (lg *LinearGaussian) Dim() int { return lg.n }
+
+// Clock returns the model's current time index (for testing phase math).
+func (lg *LinearGaussian) Clock() int { return lg.clock }
+
+// Step implements Model: clock++, μ ← A·μ, Σ ← A·Σ·Aᵀ + Q.
+func (lg *LinearGaussian) Step() {
+	mu, err := lg.a.MulVec(lg.state.Mean())
+	if err != nil {
+		panic(err) // dimensions fixed at construction
+	}
+	as, err := lg.a.Mul(lg.state.Cov())
+	if err != nil {
+		panic(err)
+	}
+	asat, err := as.Mul(lg.a.T())
+	if err != nil {
+		panic(err)
+	}
+	cov, err := asat.AddMat(lg.q)
+	if err != nil {
+		panic(err)
+	}
+	cov.Symmetrize()
+	state, err := gauss.New(mu, cov)
+	if err != nil {
+		panic(err)
+	}
+	lg.state = state
+	lg.clock++
+}
+
+// phaseMean returns the seasonal profile row for the current clock.
+func (lg *LinearGaussian) phaseMean() []float64 {
+	return lg.profile[lg.clock%lg.period]
+}
+
+// Mean implements Model.
+func (lg *LinearGaussian) Mean() []float64 {
+	return mat.AddVec(lg.state.Mean(), lg.phaseMean())
+}
+
+// Cov returns the covariance of the current belief (residual scale; the
+// seasonal shift does not affect it).
+func (lg *LinearGaussian) Cov() *mat.Dense { return lg.state.Cov() }
+
+// toResidual converts absolute observations to residual space.
+func (lg *LinearGaussian) toResidual(obs map[int]float64) (map[int]float64, error) {
+	if err := checkObs(obs, lg.n); err != nil {
+		return nil, err
+	}
+	p := lg.phaseMean()
+	out := make(map[int]float64, len(obs))
+	for i, v := range obs {
+		out[i] = v - p[i]
+	}
+	return out, nil
+}
+
+// MeanGiven implements Model using Gaussian conditioning without mutation.
+func (lg *LinearGaussian) MeanGiven(obs map[int]float64) ([]float64, error) {
+	robs, err := lg.toResidual(obs)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := lg.state.ConditionalMean(robs)
+	if err != nil {
+		return nil, err
+	}
+	return mat.AddVec(cm, lg.phaseMean()), nil
+}
+
+// Condition implements Model: collapse the belief on the observed values.
+// Observed attributes become exact (zero variance) until the next Step
+// re-inflates uncertainty through Q.
+func (lg *LinearGaussian) Condition(obs map[int]float64) error {
+	if len(obs) == 0 {
+		return nil
+	}
+	robs, err := lg.toResidual(obs)
+	if err != nil {
+		return err
+	}
+	cond, keep, err := lg.state.Condition(robs)
+	if err != nil {
+		return err
+	}
+	mean := make([]float64, lg.n)
+	cov := mat.NewDense(lg.n, lg.n)
+	for i, v := range robs {
+		mean[i] = v
+	}
+	if cond != nil {
+		cm := cond.Mean()
+		cc := cond.Cov()
+		for a, i := range keep {
+			mean[i] = cm[a]
+			for b, j := range keep {
+				cov.Set(i, j, cc.At(a, b))
+			}
+		}
+	}
+	state, err := gauss.New(mean, cov)
+	if err != nil {
+		return err
+	}
+	lg.state = state
+	return nil
+}
+
+// Clone implements Model. The learned parameters (A, Q, profile) are
+// immutable after fitting and shared between clones; only the belief state
+// and clock are copied.
+func (lg *LinearGaussian) Clone() Model {
+	cp := *lg
+	cp.state = lg.state.Clone()
+	return &cp
+}
+
+// SampleState implements Sampler: draw the residual from the belief and add
+// the seasonal mean. A point-mass belief (zero covariance) returns the mean.
+func (lg *LinearGaussian) SampleState(rng *rand.Rand) ([]float64, error) {
+	if lg.state.Cov().MaxAbs() == 0 {
+		return lg.Mean(), nil
+	}
+	r, err := lg.state.Sample(rng)
+	if err != nil {
+		return nil, err
+	}
+	return mat.AddVec(r, lg.phaseMean()), nil
+}
+
+// SampleNext implements Sampler: given ground truth x at the model's
+// current clock, draw x(t+1) from the transition. Call before Step when
+// co-simulating truth and belief.
+func (lg *LinearGaussian) SampleNext(x []float64, rng *rand.Rand) ([]float64, error) {
+	if len(x) != lg.n {
+		return nil, fmt.Errorf("%w: sample input %d, model %d", ErrDim, len(x), lg.n)
+	}
+	if lg.qChol == nil {
+		ch, err := mat.NewCholesky(lg.q)
+		if err != nil {
+			return nil, fmt.Errorf("model: innovation covariance not PD: %w", err)
+		}
+		lg.qChol = ch
+	}
+	r := mat.SubVec(x, lg.phaseMean())
+	ar, err := lg.a.MulVec(r)
+	if err != nil {
+		return nil, err
+	}
+	z := make([]float64, lg.n)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	w, err := lg.qChol.MulLVec(z)
+	if err != nil {
+		return nil, err
+	}
+	next := lg.profile[(lg.clock+1)%lg.period]
+	out := make([]float64, lg.n)
+	for i := range out {
+		out[i] = next[i] + ar[i] + w[i]
+	}
+	return out, nil
+}

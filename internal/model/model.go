@@ -1,0 +1,228 @@
+// Package model implements Ken's dynamic probabilistic models (§3.1):
+// Markovian models that are stepped forward by a transition, queried for
+// expected attribute values, and conditioned on observed subsets.
+//
+// Three families are provided, mirroring the paper's examples:
+//
+//   - Constant (Example 3.1): X̂(t+1) = X̂(t), a random-walk model whose
+//     prediction is the last incorporated value.
+//   - Linear (Example 3.2): per-attribute AR(1), X̂(t+1) = α·X̂(t) + β,
+//     equivalent to the single-node dual models of Jain et al.
+//   - LinearGaussian (Example 3.3, §5.1): a multivariate time-varying
+//     Gaussian with a VAR(1) transition and a seasonal (diurnal) mean
+//     profile, capturing both temporal and spatial correlations.
+//
+// All models are deterministic replicas: two clones stepped and conditioned
+// identically produce identical predictions, which is the invariant that
+// keeps Ken's source and sink in sync.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model is a replicated dynamic probabilistic model over a fixed set of
+// attributes (clique-local indexing).
+type Model interface {
+	// Dim returns the number of attributes the model covers.
+	Dim() int
+	// Step advances the model one time step through its transition.
+	Step()
+	// Mean returns the current expected values — the sink's answer vector.
+	Mean() []float64
+	// MeanGiven returns the expected values after hypothetically observing
+	// obs (attribute index → value), without mutating the model.
+	MeanGiven(obs map[int]float64) ([]float64, error)
+	// Condition permanently incorporates the observations.
+	Condition(obs map[int]float64) error
+	// Clone returns an independent deep copy.
+	Clone() Model
+}
+
+// Sampler is implemented by models that can generate synthetic data from
+// themselves; Monte Carlo data-reduction estimation (§4.4) requires it.
+type Sampler interface {
+	Model
+	// SampleState draws a ground-truth vector from the current state.
+	SampleState(rng *rand.Rand) ([]float64, error)
+	// SampleNext draws x(t+1) given ground truth x(t) from the transition.
+	SampleNext(x []float64, rng *rand.Rand) ([]float64, error)
+}
+
+// ErrDim is returned when an observation or bound vector has the wrong
+// dimensionality for the model.
+var ErrDim = errors.New("model: dimension mismatch")
+
+// checkObs validates observation indices against dim.
+func checkObs(obs map[int]float64, dim int) error {
+	for i, v := range obs {
+		if i < 0 || i >= dim {
+			return fmt.Errorf("%w: observation index %d out of range %d", ErrDim, i, dim)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("model: observation %d is not finite: %v", i, v)
+		}
+	}
+	return nil
+}
+
+// ChooseReportGreedy finds a small attribute subset whose values, when
+// reported, make every prediction ε-accurate (source step 4(a), §3.2).
+// It greedily adds the attribute with the largest normalised violation
+// |X̂_i − x_i|/ε_i until all predictions are within bounds. Reporting every
+// attribute always satisfies the bounds, so the loop terminates in at most
+// Dim() rounds. The returned map is empty when the unconditioned prediction
+// is already accurate.
+func ChooseReportGreedy(m Model, truth, eps []float64) (map[int]float64, error) {
+	n := m.Dim()
+	if len(truth) != n || len(eps) != n {
+		return nil, fmt.Errorf("%w: truth %d, eps %d, model %d", ErrDim, len(truth), len(eps), n)
+	}
+	obs := map[int]float64{}
+	for len(obs) < n {
+		mean, err := m.MeanGiven(obs)
+		if err != nil {
+			return nil, err
+		}
+		worst, worstRatio := -1, 1.0
+		for i := 0; i < n; i++ {
+			if _, ok := obs[i]; ok {
+				continue
+			}
+			if eps[i] <= 0 {
+				return nil, fmt.Errorf("model: non-positive epsilon %v for attribute %d", eps[i], i)
+			}
+			if r := math.Abs(mean[i]-truth[i]) / eps[i]; r > worstRatio {
+				worst, worstRatio = i, r
+			}
+		}
+		if worst < 0 {
+			return obs, nil
+		}
+		obs[worst] = truth[worst]
+	}
+	return obs, nil
+}
+
+// ChooseReportGreedyPartial is ChooseReportGreedy under partial
+// observability: truth is known only for the attributes present in the
+// avail map (clique members whose readings reached the root — others may
+// be dead or their collection messages lost). Only available attributes
+// are checked against ε and eligible for reporting; unavailable ones are
+// left to the model.
+func ChooseReportGreedyPartial(m Model, avail map[int]float64, eps []float64) (map[int]float64, error) {
+	n := m.Dim()
+	if len(eps) != n {
+		return nil, fmt.Errorf("%w: eps %d, model %d", ErrDim, len(eps), n)
+	}
+	if err := checkObs(avail, n); err != nil {
+		return nil, err
+	}
+	obs := map[int]float64{}
+	for len(obs) < len(avail) {
+		mean, err := m.MeanGiven(obs)
+		if err != nil {
+			return nil, err
+		}
+		worst, worstRatio := -1, 1.0
+		for i, v := range avail {
+			if _, ok := obs[i]; ok {
+				continue
+			}
+			if eps[i] <= 0 {
+				return nil, fmt.Errorf("model: non-positive epsilon %v for attribute %d", eps[i], i)
+			}
+			if r := math.Abs(mean[i]-v) / eps[i]; r > worstRatio {
+				worst, worstRatio = i, r
+			}
+		}
+		if worst < 0 {
+			return obs, nil
+		}
+		obs[worst] = avail[worst]
+	}
+	return obs, nil
+}
+
+// ChooseReportExhaustive finds the smallest subset (breaking ties by the
+// first found in index order) whose reporting restores ε-accuracy, by
+// enumerating subsets in order of increasing size. Exponential in Dim();
+// intended for small cliques and for validating the greedy heuristic.
+func ChooseReportExhaustive(m Model, truth, eps []float64) (map[int]float64, error) {
+	n := m.Dim()
+	if len(truth) != n || len(eps) != n {
+		return nil, fmt.Errorf("%w: truth %d, eps %d, model %d", ErrDim, len(truth), len(eps), n)
+	}
+	if n > 20 {
+		return nil, fmt.Errorf("model: exhaustive subset search infeasible for dim %d", n)
+	}
+	for i := range eps {
+		if eps[i] <= 0 {
+			return nil, fmt.Errorf("model: non-positive epsilon %v for attribute %d", eps[i], i)
+		}
+	}
+	for size := 0; size <= n; size++ {
+		found, err := searchSubsets(m, truth, eps, size)
+		if err != nil {
+			return nil, err
+		}
+		if found != nil {
+			return found, nil
+		}
+	}
+	// Unreachable: the full set always satisfies the bounds.
+	return nil, errors.New("model: no satisfying subset found")
+}
+
+// searchSubsets tries every subset of exactly the given size.
+func searchSubsets(m Model, truth, eps []float64, size int) (map[int]float64, error) {
+	n := m.Dim()
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		obs := make(map[int]float64, size)
+		for _, i := range idx {
+			obs[i] = truth[i]
+		}
+		mean, err := m.MeanGiven(obs)
+		if err != nil {
+			return nil, err
+		}
+		if withinBounds(mean, truth, eps) {
+			return obs, nil
+		}
+		// Next combination in lexicographic order.
+		i := size - 1
+		for i >= 0 && idx[i] == n-size+i {
+			i--
+		}
+		if i < 0 {
+			return nil, nil
+		}
+		idx[i]++
+		for j := i + 1; j < size; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// withinBounds reports whether every |mean_i − truth_i| ≤ eps_i.
+func withinBounds(mean, truth, eps []float64) bool {
+	for i := range mean {
+		if math.Abs(mean[i]-truth[i]) > eps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WithinBounds exposes the ε-accuracy check for callers that audit Ken's
+// output guarantee.
+func WithinBounds(mean, truth, eps []float64) bool {
+	return withinBounds(mean, truth, eps)
+}

@@ -1,0 +1,117 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLinearGaussianJSONRoundTrip(t *testing.T) {
+	data := garden2Cols(t, 150)
+	lg, err := FitLinearGaussian(data[:120], FitConfig{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance and condition so the state is non-trivial.
+	lg.Step()
+	if err := lg.Condition(map[int]float64{0: 17.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveLinearGaussian(&buf, lg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLinearGaussian(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reloaded replica must stay in lock-step with the original.
+	a, b := lg.Clone(), loaded.Clone()
+	for step := 0; step < 10; step++ {
+		a.Step()
+		b.Step()
+		obs := map[int]float64{step % 2: 16 + float64(step)*0.1}
+		if err := a.Condition(obs); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Condition(obs); err != nil {
+			t.Fatal(err)
+		}
+		ma, mb := a.Mean(), b.Mean()
+		for i := range ma {
+			if diff := ma[i] - mb[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("replicas diverged after reload at step %d: %v vs %v", step, ma, mb)
+			}
+		}
+	}
+	if loaded.Clock() != lg.Clock() {
+		t.Fatalf("clock = %d, want %d", loaded.Clock(), lg.Clock())
+	}
+}
+
+func TestLoadLinearGaussianRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "not json",
+		"zero dimension": `{"n":0}`,
+		"missing matrix": `{"n":2,"profile":[[1,2]],"period":1,"state_mean":[1,2]}`,
+		"shape mismatch": `{"n":2,"a":{"rows":[[1]]},"q":{"rows":[[1,0],[0,1]]},"profile":[[1,2]],"period":1,"clock":0,"state_mean":[1,2],"state_cov":{"rows":[[1,0],[0,1]]}}`,
+		"bad profile":    `{"n":1,"a":{"rows":[[1]]},"q":{"rows":[[1]]},"profile":[[1],[2]],"period":1,"clock":0,"state_mean":[1],"state_cov":{"rows":[[1]]}}`,
+		"bad state":      `{"n":1,"a":{"rows":[[1]]},"q":{"rows":[[1]]},"profile":[[1]],"period":1,"clock":0,"state_mean":[1,2],"state_cov":{"rows":[[1]]}}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadLinearGaussian(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected load error", name)
+		}
+	}
+}
+
+func TestSwitchingJSONRoundTrip(t *testing.T) {
+	data := regimeData(21, 600, 3)
+	sw, err := FitSwitching(data, SwitchingConfig{Regimes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSwitching(&buf, sw); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSwitching(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reloaded replica stays in lock-step with the original.
+	a, b := sw.Clone(), loaded.Clone()
+	for step := 0; step < 15; step++ {
+		a.Step()
+		b.Step()
+		obs := map[int]float64{step % 2: 18 + float64(step%5)}
+		if err := a.Condition(obs); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Condition(obs); err != nil {
+			t.Fatal(err)
+		}
+		ma, mb := a.Mean(), b.Mean()
+		for i := range ma {
+			if d := ma[i] - mb[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("switching replicas diverged after reload: %v vs %v", ma, mb)
+			}
+		}
+	}
+}
+
+func TestLoadSwitchingRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not json",
+		"missing base": `{"offsets":[[1],[2]],"trans":[[1,0],[0,1]],"probs":[0.5,0.5],"obs_sd":[1]}`,
+		"one regime":   `{"base":{"n":1,"a":{"rows":[[1]]},"q":{"rows":[[1]]},"profile":[[0]],"period":1,"clock":0,"state_mean":[0],"state_cov":{"rows":[[0]]}},"offsets":[[1]],"trans":[[1]],"probs":[1],"obs_sd":[1]}`,
+		"bad offsets":  `{"base":{"n":1,"a":{"rows":[[1]]},"q":{"rows":[[1]]},"profile":[[0]],"period":1,"clock":0,"state_mean":[0],"state_cov":{"rows":[[0]]}},"offsets":[[1,2],[3]],"trans":[[0.5,0.5],[0.5,0.5]],"probs":[0.5,0.5],"obs_sd":[1]}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadSwitching(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected load error", name)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package query answers windowed aggregate queries over the sink's
+// answer stream. Because every Ken estimate is within ±ε of the truth,
+// aggregates over estimates carry provable bounds with no further
+// communication:
+//
+//	AVG of m values, each within ±εᵢ  →  within ±mean(εᵢ)
+//	SUM of m values                    →  within ±Σ εᵢ
+//	MIN / MAX of m values              →  within ±max εᵢ
+//
+// This is the "biologists test hypotheses over the data" workload of the
+// paper's introduction: exploratory aggregates run at the base station,
+// for free, with error bars derived from the collection contract.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Aggregate selects the window function.
+type Aggregate int
+
+const (
+	// Avg averages the selected readings.
+	Avg Aggregate = iota
+	// Sum totals them.
+	Sum
+	// Min takes the smallest.
+	Min
+	// Max takes the largest.
+	Max
+)
+
+// String names the aggregate.
+func (a Aggregate) String() string {
+	switch a {
+	case Avg:
+		return "avg"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("aggregate(%d)", int(a))
+	}
+}
+
+// Window selects steps [From, To) of the listed attributes.
+type Window struct {
+	Agg   Aggregate
+	Attrs []int
+	From  int
+	To    int
+}
+
+// Answer is an aggregate value with its guaranteed error bound: the true
+// aggregate lies in [Value − Bound, Value + Bound] whenever the estimates
+// honoured their ±ε contract.
+type Answer struct {
+	Value float64
+	Bound float64
+	Count int
+}
+
+// ErrEmptyWindow is returned when the window selects no readings.
+var ErrEmptyWindow = errors.New("query: empty window")
+
+// Eval evaluates the window over the estimate stream (estimates[t][i])
+// with the collection bounds eps.
+func Eval(estimates [][]float64, eps []float64, w Window) (*Answer, error) {
+	if len(estimates) == 0 {
+		return nil, ErrEmptyWindow
+	}
+	n := len(eps)
+	if w.From < 0 || w.To > len(estimates) || w.From >= w.To {
+		return nil, fmt.Errorf("query: window [%d,%d) out of range %d", w.From, w.To, len(estimates))
+	}
+	if len(w.Attrs) == 0 {
+		return nil, errors.New("query: no attributes selected")
+	}
+	for _, a := range w.Attrs {
+		if a < 0 || a >= n {
+			return nil, fmt.Errorf("query: attribute %d out of range %d", a, n)
+		}
+		if eps[a] <= 0 {
+			return nil, fmt.Errorf("query: non-positive epsilon %v for attribute %d", eps[a], a)
+		}
+	}
+
+	ans := &Answer{}
+	var sum, epsSum, epsMax float64
+	min, max := math.Inf(1), math.Inf(-1)
+	for t := w.From; t < w.To; t++ {
+		row := estimates[t]
+		if len(row) != n {
+			return nil, fmt.Errorf("query: step %d has %d estimates, want %d", t, len(row), n)
+		}
+		for _, a := range w.Attrs {
+			v := row[a]
+			sum += v
+			epsSum += eps[a]
+			if eps[a] > epsMax {
+				epsMax = eps[a]
+			}
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			ans.Count++
+		}
+	}
+
+	switch w.Agg {
+	case Avg:
+		ans.Value = sum / float64(ans.Count)
+		ans.Bound = epsSum / float64(ans.Count)
+	case Sum:
+		ans.Value = sum
+		ans.Bound = epsSum
+	case Min:
+		ans.Value = min
+		ans.Bound = epsMax
+	case Max:
+		ans.Value = max
+		ans.Bound = epsMax
+	default:
+		return nil, fmt.Errorf("query: unknown aggregate %d", w.Agg)
+	}
+	return ans, nil
+}
+
+// TruthAggregate computes the same aggregate over ground truth — the
+// reference Eval's bound is audited against in tests.
+func TruthAggregate(truth [][]float64, w Window) (float64, error) {
+	if w.From < 0 || w.To > len(truth) || w.From >= w.To || len(w.Attrs) == 0 {
+		return 0, ErrEmptyWindow
+	}
+	var sum float64
+	count := 0
+	min, max := math.Inf(1), math.Inf(-1)
+	for t := w.From; t < w.To; t++ {
+		for _, a := range w.Attrs {
+			if a < 0 || a >= len(truth[t]) {
+				return 0, fmt.Errorf("query: attribute %d out of range", a)
+			}
+			v := truth[t][a]
+			sum += v
+			count++
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	switch w.Agg {
+	case Avg:
+		return sum / float64(count), nil
+	case Sum:
+		return sum, nil
+	case Min:
+		return min, nil
+	case Max:
+		return max, nil
+	default:
+		return 0, fmt.Errorf("query: unknown aggregate %d", w.Agg)
+	}
+}

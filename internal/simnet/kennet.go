@@ -1,0 +1,265 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"ken/internal/cliques"
+	"ken/internal/model"
+)
+
+// Program is a distributed data-collection protocol executing over the
+// simulated network, one Epoch call per sampling period.
+type Program interface {
+	// Name identifies the program in reports.
+	Name() string
+	// Epoch feeds the ground-truth readings of all sensor nodes for one
+	// sampling period and returns the base station's view.
+	Epoch(truth []float64) (EpochResult, error)
+}
+
+// EpochResult is the base station's per-epoch outcome.
+type EpochResult struct {
+	// Estimates is the base station's answer vector (one per node).
+	Estimates []float64
+	// ValuesDelivered counts attribute values that reached the base.
+	ValuesDelivered int
+	// Violations counts nodes whose estimate missed ε this epoch — caused
+	// only by message loss or dead nodes; zero on a clean network.
+	Violations int
+}
+
+// DistributedKen runs Ken as true node programs over the simulator:
+// clique members unicast their readings to the clique root every epoch
+// (intra-source), the root executes the source replica and unicasts each
+// report value to the base (source-sink, one data unit per message as in
+// §5.2), and the base executes the sink replicas.
+//
+// Unlike core.Ken — which scores an idealised protocol — DistributedKen
+// inherits the network's failure modes: collection messages from dying
+// members leave the root partially informed, lost reports desynchronise
+// the replicas, and dead roots silence whole cliques.
+type DistributedKen struct {
+	net *Network
+	eps []float64
+	n   int
+	cl  []distClique
+}
+
+type distClique struct {
+	members []int
+	root    int
+	src     model.Model // executes at the clique root
+	sink    model.Model // executes at the base station
+	eps     []float64
+}
+
+var _ Program = (*DistributedKen)(nil)
+
+// NewDistributedKen fits per-clique models and installs the node programs.
+func NewDistributedKen(net *Network, part *cliques.Partition, train [][]float64, eps []float64, fitCfg model.FitConfig) (*DistributedKen, error) {
+	if net == nil {
+		return nil, fmt.Errorf("simnet: nil network")
+	}
+	if len(train) == 0 {
+		return nil, fmt.Errorf("simnet: empty training data")
+	}
+	n := len(train[0])
+	if n != net.top.N() {
+		return nil, fmt.Errorf("simnet: training dim %d, network has %d nodes", n, net.top.N())
+	}
+	if len(eps) != n {
+		return nil, fmt.Errorf("simnet: eps dim %d, want %d", len(eps), n)
+	}
+	if err := part.Validate(n); err != nil {
+		return nil, err
+	}
+	d := &DistributedKen{net: net, eps: append([]float64(nil), eps...), n: n}
+	for _, c := range part.Cliques {
+		cols := make([][]float64, len(train))
+		for t, row := range train {
+			r := make([]float64, len(c.Members))
+			for i, g := range c.Members {
+				r[i] = row[g]
+			}
+			cols[t] = r
+		}
+		mdl, err := model.FitLinearGaussian(cols, fitCfg)
+		if err != nil {
+			return nil, fmt.Errorf("simnet: fitting clique %v: %w", c.Members, err)
+		}
+		le := make([]float64, len(c.Members))
+		for i, g := range c.Members {
+			le[i] = eps[g]
+		}
+		d.cl = append(d.cl, distClique{
+			members: append([]int(nil), c.Members...),
+			root:    c.Root,
+			src:     mdl.Clone(),
+			sink:    mdl.Clone(),
+			eps:     le,
+		})
+	}
+	return d, nil
+}
+
+// Name implements Program.
+func (d *DistributedKen) Name() string { return "ken" }
+
+// Epoch implements Program.
+func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
+	if len(truth) != d.n {
+		return EpochResult{}, fmt.Errorf("simnet: truth dim %d, want %d", len(truth), d.n)
+	}
+	d.net.BeginEpoch()
+	res := EpochResult{Estimates: make([]float64, d.n)}
+	for ci := range d.cl {
+		c := &d.cl[ci]
+		// Phase 1 — intra-source collection: each live member ships its
+		// reading to the clique root (the root's own reading is local).
+		avail := map[int]float64{}
+		rootAlive := d.net.Alive(c.root)
+		for i, g := range c.members {
+			if g == c.root {
+				if rootAlive {
+					avail[i] = truth[g]
+				}
+				continue
+			}
+			if !rootAlive {
+				continue // nobody to collect at
+			}
+			ok := d.net.Send(Message{From: g, To: c.root, Attrs: []int{g}, Values: []float64{truth[g]}})
+			if ok {
+				avail[i] = truth[g]
+			}
+		}
+
+		// Phase 2 — inference at the root and minimal reporting. Both
+		// replicas advance even when the root is dead: the sink keeps
+		// predicting from the model (that is the point of Ken).
+		c.src.Step()
+		c.sink.Step()
+		var sent map[int]float64
+		if rootAlive && len(avail) > 0 {
+			var err error
+			sent, err = model.ChooseReportGreedyPartial(c.src, avail, c.eps)
+			if err != nil {
+				return EpochResult{}, err
+			}
+		}
+		// The source believes what it transmitted (it cannot observe
+		// loss); the sink conditions on what actually arrived.
+		if err := c.src.Condition(sent); err != nil {
+			return EpochResult{}, err
+		}
+		delivered := map[int]float64{}
+		for _, i := range sortedKeys(sent) {
+			g := c.members[i]
+			if d.net.Send(Message{From: c.root, To: d.net.Base(), Attrs: []int{g}, Values: []float64{sent[i]}}) {
+				delivered[i] = sent[i]
+			}
+		}
+		if err := c.sink.Condition(delivered); err != nil {
+			return EpochResult{}, err
+		}
+		res.ValuesDelivered += len(delivered)
+
+		// Phase 3 — the base answers from the sink replica.
+		mean := c.sink.Mean()
+		for i, g := range c.members {
+			res.Estimates[g] = mean[i]
+			if diff := mean[i] - truth[g]; diff > d.eps[g] || diff < -d.eps[g] {
+				res.Violations++
+			}
+		}
+	}
+	return res, nil
+}
+
+// sortedKeys iterates a report set deterministically.
+func sortedKeys(m map[int]float64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DistributedTinyDB is the exact-collection node program: every live node
+// unicasts its reading to the base each epoch.
+type DistributedTinyDB struct {
+	net  *Network
+	n    int
+	eps  []float64
+	last []float64 // base's last delivered value per node
+	seen []bool
+}
+
+var _ Program = (*DistributedTinyDB)(nil)
+
+// NewDistributedTinyDB installs the TinyDB-style program.
+func NewDistributedTinyDB(net *Network, eps []float64) (*DistributedTinyDB, error) {
+	if net == nil {
+		return nil, fmt.Errorf("simnet: nil network")
+	}
+	n := net.top.N()
+	if len(eps) != n {
+		return nil, fmt.Errorf("simnet: eps dim %d, want %d", len(eps), n)
+	}
+	return &DistributedTinyDB{
+		net:  net,
+		n:    n,
+		eps:  append([]float64(nil), eps...),
+		last: make([]float64, n),
+		seen: make([]bool, n),
+	}, nil
+}
+
+// Name implements Program.
+func (d *DistributedTinyDB) Name() string { return "tinydb" }
+
+// Epoch implements Program.
+func (d *DistributedTinyDB) Epoch(truth []float64) (EpochResult, error) {
+	if len(truth) != d.n {
+		return EpochResult{}, fmt.Errorf("simnet: truth dim %d, want %d", len(truth), d.n)
+	}
+	d.net.BeginEpoch()
+	res := EpochResult{Estimates: make([]float64, d.n)}
+	for i := 0; i < d.n; i++ {
+		if d.net.Alive(i) &&
+			d.net.Send(Message{From: i, To: d.net.Base(), Attrs: []int{i}, Values: []float64{truth[i]}}) {
+			d.last[i] = truth[i]
+			d.seen[i] = true
+			res.ValuesDelivered++
+		}
+		res.Estimates[i] = d.last[i]
+		if !d.seen[i] {
+			res.Violations++
+			continue
+		}
+		if diff := d.last[i] - truth[i]; diff > d.eps[i] || diff < -d.eps[i] {
+			res.Violations++
+		}
+	}
+	return res, nil
+}
+
+// RunLifetime drives a program over the trace rows until the network's
+// first node dies or the rows run out, then returns (epochs survived by
+// the full network, total epochs executed). Use fresh Network/Program
+// pairs per run.
+func RunLifetime(net *Network, prog Program, rows [][]float64) (firstDeath, epochs int, err error) {
+	firstDeath = -1
+	for t, row := range rows {
+		if _, err := prog.Epoch(row); err != nil {
+			return 0, 0, err
+		}
+		epochs++
+		if firstDeath < 0 && net.AliveCount() < net.top.N() {
+			firstDeath = t + 1
+		}
+	}
+	return firstDeath, epochs, nil
+}

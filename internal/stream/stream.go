@@ -1,0 +1,351 @@
+// Package stream runs the Ken protocol between two real processes: a
+// Source colocated with the sensor network and a sink Replica at the base
+// station, exchanging compact wire frames over any io.Reader/io.Writer —
+// in production a TCP connection, in tests a net.Pipe.
+//
+// This realises the paper's §6 observation that the replicated-model
+// approach extends naturally to approximate caching and distributed
+// streams: the sink answers continuously from its replica, and the source
+// ships only the minimal frames needed to keep every answer within ε.
+//
+// Values travel quantized (wire.Frame); the Source conditions its own
+// replica on the quantized values it sends, so both replicas stay in
+// bit-exact lock-step, and it runs the protocol at ε − resolution/2 so the
+// end-to-end guarantee remains ±ε.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"ken/internal/cliques"
+	"ken/internal/model"
+	"ken/internal/wire"
+)
+
+// maxFrameBytes bounds a length-prefixed frame read (corruption guard).
+const maxFrameBytes = 1 << 20
+
+// Config assembles both endpoints; the two sides must be built with
+// identical configurations (same training data, partition, bounds and
+// resolution).
+type Config struct {
+	// Partition assigns attributes to cliques.
+	Partition *cliques.Partition
+	// Train is the shared training matrix.
+	Train [][]float64
+	// Eps are the per-attribute end-to-end error bounds.
+	Eps []float64
+	// FitCfg controls model learning.
+	FitCfg model.FitConfig
+	// Resolution is the wire quantisation step (default: min ε / 100).
+	Resolution float64
+	// HeartbeatEvery, when positive, makes the source transmit a
+	// full-value heartbeat frame every so many steps (§6 robustness).
+	HeartbeatEvery int
+}
+
+// endpoints share per-clique bookkeeping.
+type cliqueState struct {
+	members []int
+	mdl     model.Model
+	eps     []float64 // effective (ε − resolution/2)
+}
+
+// build fits the per-clique models once and validates the config.
+func build(cfg Config) ([]cliqueState, float64, error) {
+	if cfg.Partition == nil {
+		return nil, 0, errors.New("stream: config needs a partition")
+	}
+	if len(cfg.Train) == 0 {
+		return nil, 0, errors.New("stream: config needs training data")
+	}
+	n := len(cfg.Train[0])
+	if len(cfg.Eps) != n {
+		return nil, 0, fmt.Errorf("stream: eps dim %d, training dim %d", len(cfg.Eps), n)
+	}
+	if err := cfg.Partition.Validate(n); err != nil {
+		return nil, 0, err
+	}
+	res := cfg.Resolution
+	minEps := math.Inf(1)
+	for i, e := range cfg.Eps {
+		if e <= 0 {
+			return nil, 0, fmt.Errorf("stream: non-positive epsilon %v for attribute %d", e, i)
+		}
+		minEps = math.Min(minEps, e)
+	}
+	if res <= 0 {
+		res = minEps / 100
+	}
+	if res/2 >= minEps {
+		return nil, 0, fmt.Errorf("stream: resolution %v too coarse for ε %v", res, minEps)
+	}
+	var states []cliqueState
+	for _, c := range cfg.Partition.Cliques {
+		cols := make([][]float64, len(cfg.Train))
+		for t, row := range cfg.Train {
+			r := make([]float64, len(c.Members))
+			for i, g := range c.Members {
+				r[i] = row[g]
+			}
+			cols[t] = r
+		}
+		mdl, err := model.FitLinearGaussian(cols, cfg.FitCfg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("stream: fitting clique %v: %w", c.Members, err)
+		}
+		eps := make([]float64, len(c.Members))
+		for i, g := range c.Members {
+			eps[i] = cfg.Eps[g] - res/2
+		}
+		states = append(states, cliqueState{
+			members: append([]int(nil), c.Members...),
+			mdl:     mdl.Clone(),
+			eps:     eps,
+		})
+	}
+	return states, res, nil
+}
+
+// Source is the sensor-network endpoint: it consumes ground-truth rows and
+// emits wire frames.
+type Source struct {
+	cl      []cliqueState
+	res     float64
+	n       int
+	step    uint64
+	hbEvery int
+	sinceHB int
+}
+
+// NewSource builds the source endpoint.
+func NewSource(cfg Config) (*Source, error) {
+	cl, res, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{cl: cl, res: res, n: len(cfg.Eps), hbEvery: cfg.HeartbeatEvery}, nil
+}
+
+// quantize snaps v onto the wire grid.
+func quantize(v, res float64) float64 {
+	return math.Round(v/res) * res
+}
+
+// Collect advances one sampling step: runs the source protocol on the
+// fresh readings and returns the frame to transmit (possibly with zero
+// reports — the frame itself carries the step so the sink's clock stays
+// aligned even without data).
+func (s *Source) Collect(truth []float64) (wire.Frame, error) {
+	if len(truth) != s.n {
+		return wire.Frame{}, fmt.Errorf("stream: truth dim %d, want %d", len(truth), s.n)
+	}
+	frame := wire.Frame{Step: s.step}
+	s.sinceHB++
+	heartbeat := s.hbEvery > 0 && s.sinceHB >= s.hbEvery
+	if heartbeat {
+		frame.Special = wire.KindHeartbeat
+		s.sinceHB = 0
+	}
+	for ci := range s.cl {
+		c := &s.cl[ci]
+		c.mdl.Step()
+		local := make([]float64, len(c.members))
+		for i, g := range c.members {
+			local[i] = truth[g]
+		}
+		var obs map[int]float64
+		if heartbeat {
+			obs = make(map[int]float64, len(local))
+			for i, v := range local {
+				obs[i] = v
+			}
+		} else {
+			var err error
+			obs, err = model.ChooseReportGreedy(c.mdl, local, c.eps)
+			if err != nil {
+				return wire.Frame{}, err
+			}
+		}
+		// Quantize, transmit, and condition on exactly what was sent.
+		quant := make(map[int]float64, len(obs))
+		for i, v := range obs {
+			qv := quantize(v, s.res)
+			quant[i] = qv
+			frame.Attrs = append(frame.Attrs, c.members[i])
+			frame.Values = append(frame.Values, qv)
+		}
+		if err := c.mdl.Condition(quant); err != nil {
+			return wire.Frame{}, err
+		}
+	}
+	s.step++
+	return frame, nil
+}
+
+// Resolution returns the negotiated wire resolution.
+func (s *Source) Resolution() float64 { return s.res }
+
+// Replica is the base-station endpoint: it applies frames and serves
+// estimates. Safe for concurrent Apply/Estimates.
+type Replica struct {
+	mu   sync.Mutex
+	cl   []cliqueState
+	res  float64
+	n    int
+	next uint64 // expected next frame step
+	// Frames counts applied frames; Heartbeats counts heartbeat frames.
+	frames, heartbeats int
+}
+
+// NewReplica builds the sink endpoint.
+func NewReplica(cfg Config) (*Replica, error) {
+	cl, res, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{cl: cl, res: res, n: len(cfg.Eps)}, nil
+}
+
+// Resolution returns the negotiated wire resolution.
+func (r *Replica) Resolution() float64 { return r.res }
+
+// Apply folds one frame into the replica. Frames must arrive in step
+// order; a gap means lost frames and is an error (the transport below is
+// reliable — for lossy transports see core.LossyKen and simnet).
+func (r *Replica) Apply(f wire.Frame) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f.Step != r.next {
+		return fmt.Errorf("stream: frame for step %d, expected %d", f.Step, r.next)
+	}
+	byAttr := make(map[int]float64, len(f.Attrs))
+	for i, a := range f.Attrs {
+		if a < 0 || a >= r.n {
+			return fmt.Errorf("stream: frame attribute %d out of range %d", a, r.n)
+		}
+		byAttr[a] = f.Values[i]
+	}
+	for ci := range r.cl {
+		c := &r.cl[ci]
+		c.mdl.Step()
+		obs := map[int]float64{}
+		for i, g := range c.members {
+			if v, ok := byAttr[g]; ok {
+				obs[i] = v
+			}
+		}
+		if err := c.mdl.Condition(obs); err != nil {
+			return err
+		}
+	}
+	r.next++
+	r.frames++
+	if f.Special == wire.KindHeartbeat {
+		r.heartbeats++
+	}
+	return nil
+}
+
+// Estimates returns the replica's current answer vector.
+func (r *Replica) Estimates() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]float64, r.n)
+	for ci := range r.cl {
+		c := &r.cl[ci]
+		mean := c.mdl.Mean()
+		for i, g := range c.members {
+			out[g] = mean[i]
+		}
+	}
+	return out
+}
+
+// Steps returns how many frames have been applied.
+func (r *Replica) Steps() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frames
+}
+
+// Heartbeats returns how many heartbeat frames arrived.
+func (r *Replica) Heartbeats() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.heartbeats
+}
+
+// WriteFrame length-prefixes and writes one encoded frame.
+func WriteFrame(w io.Writer, f wire.Frame, res float64) error {
+	buf, err := wire.Encode(f, res)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("stream: write header: %w", err)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("stream: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame. io.EOF at a frame boundary is
+// returned as io.EOF; a partial frame is an unexpected-EOF error.
+func ReadFrame(rd io.Reader, res float64) (wire.Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		if err == io.EOF {
+			return wire.Frame{}, io.EOF
+		}
+		return wire.Frame{}, fmt.Errorf("stream: read header: %w", err)
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrameBytes {
+		return wire.Frame{}, fmt.Errorf("stream: frame of %d bytes exceeds limit", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(rd, buf); err != nil {
+		return wire.Frame{}, fmt.Errorf("stream: read frame: %w", err)
+	}
+	return wire.Decode(buf, res)
+}
+
+// Serve applies frames from the reader until EOF or error. It returns nil
+// on clean EOF.
+func (r *Replica) Serve(rd io.Reader) error {
+	for {
+		f, err := ReadFrame(rd, r.res)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := r.Apply(f); err != nil {
+			return err
+		}
+	}
+}
+
+// Pump runs the source over the rows, writing one frame per row.
+func (s *Source) Pump(w io.Writer, rows [][]float64) error {
+	for _, row := range rows {
+		f, err := s.Collect(row)
+		if err != nil {
+			return err
+		}
+		if err := WriteFrame(w, f, s.res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

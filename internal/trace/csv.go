@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteCSV writes one attribute's time series as CSV: a header row of node
+// IDs, then one row per time step. This is the interchange format of the
+// kentrace tool.
+func (tr *Trace) WriteCSV(w io.Writer, a Attribute) error {
+	rows, err := tr.Rows(a)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, tr.Deployment.N()+1)
+	header[0] = "minute"
+	for i, nd := range tr.Deployment.Nodes {
+		header[i+1] = fmt.Sprintf("node%d", nd.ID)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for t, row := range rows {
+		rec[0] = strconv.FormatFloat(float64(t)*tr.StepMinutes, 'f', -1, 64)
+		for i, v := range row {
+			rec[i+1] = strconv.FormatFloat(v, 'g', 10, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSVMatrix parses a CSV written by WriteCSV back into a [t][node]
+// matrix, ignoring the leading minute column. It returns the matrix and the
+// inferred step duration in minutes (0 when fewer than two rows).
+func ReadCSVMatrix(r io.Reader) ([][]float64, float64, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, 0, fmt.Errorf("trace: csv parse: %w", err)
+	}
+	if len(recs) < 2 {
+		return nil, 0, fmt.Errorf("trace: csv has %d rows, need header + data", len(recs))
+	}
+	cols := len(recs[0])
+	if cols < 2 {
+		return nil, 0, fmt.Errorf("trace: csv has %d columns, need minute + nodes", cols)
+	}
+	out := make([][]float64, 0, len(recs)-1)
+	minutes := make([]float64, 0, len(recs)-1)
+	for rn, rec := range recs[1:] {
+		if len(rec) != cols {
+			return nil, 0, fmt.Errorf("trace: csv row %d has %d fields, want %d", rn+2, len(rec), cols)
+		}
+		minute, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("trace: csv row %d minute: %w", rn+2, err)
+		}
+		minutes = append(minutes, minute)
+		row := make([]float64, cols-1)
+		for i, f := range rec[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("trace: csv row %d col %d: %w", rn+2, i+2, err)
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+	}
+	step := 0.0
+	if len(minutes) >= 2 {
+		step = minutes[1] - minutes[0]
+	}
+	return out, step, nil
+}
+
+// FromMatrix wraps an externally obtained [t][node] matrix as a Trace for
+// one attribute — the entry point for running Ken on real deployment data
+// (e.g. the original Intel-lab CSV) instead of the synthetic generators.
+// The node count must match the deployment.
+func FromMatrix(d *Deployment, a Attribute, rows [][]float64, stepMinutes float64) (*Trace, error) {
+	if d == nil || d.N() == 0 {
+		return nil, fmt.Errorf("trace: FromMatrix needs a non-empty deployment")
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: FromMatrix needs at least one row")
+	}
+	if stepMinutes <= 0 {
+		return nil, fmt.Errorf("trace: step duration %v minutes", stepMinutes)
+	}
+	for t, row := range rows {
+		if len(row) != d.N() {
+			return nil, fmt.Errorf("trace: row %d has %d readings, deployment has %d nodes", t, len(row), d.N())
+		}
+	}
+	return &Trace{
+		Deployment:  d,
+		StepMinutes: stepMinutes,
+		Data:        map[Attribute][][]float64{a: rows},
+	}, nil
+}
+
+// FromCSV reads a CSV in the WriteCSV format into a single-attribute Trace
+// over the deployment.
+func FromCSV(r io.Reader, d *Deployment, a Attribute) (*Trace, error) {
+	rows, step, err := ReadCSVMatrix(r)
+	if err != nil {
+		return nil, err
+	}
+	if step <= 0 {
+		step = 60
+	}
+	return FromMatrix(d, a, rows, step)
+}
+
+// FillGaps repairs missing readings (NaNs) in a [t][node] matrix in place:
+// interior gaps are linearly interpolated per column, and leading/trailing
+// gaps are filled with the nearest valid reading. Real deployment traces
+// (including the original Intel-lab data) are full of holes from radio
+// loss and reboots; model fitting needs complete rows. Gaps longer than
+// maxGap consecutive steps are refused — interpolating across hours of
+// silence would invent data, and the caller should split the trace there
+// instead. A column with no valid readings at all is an error.
+func FillGaps(rows [][]float64, maxGap int) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("trace: FillGaps on empty matrix")
+	}
+	if maxGap < 1 {
+		return fmt.Errorf("trace: maxGap %d < 1", maxGap)
+	}
+	n := len(rows[0])
+	for t, row := range rows {
+		if len(row) != n {
+			return fmt.Errorf("trace: row %d has %d cols, want %d", t, len(row), n)
+		}
+	}
+	T := len(rows)
+	for j := 0; j < n; j++ {
+		// Collect indices of valid readings.
+		prev := -1
+		anyValid := false
+		for t := 0; t <= T; t++ {
+			valid := t < T && !math.IsNaN(rows[t][j])
+			if t < T && valid {
+				anyValid = true
+				if prev >= 0 && t-prev > 1 {
+					gap := t - prev - 1
+					if gap > maxGap {
+						return fmt.Errorf("trace: column %d has a %d-step gap ending at %d (max %d)", j, gap, t, maxGap)
+					}
+					// Linear interpolation across the interior gap.
+					a, b := rows[prev][j], rows[t][j]
+					for k := 1; k <= gap; k++ {
+						rows[prev+k][j] = a + (b-a)*float64(k)/float64(gap+1)
+					}
+				}
+				prev = t
+			}
+		}
+		if !anyValid {
+			return fmt.Errorf("trace: column %d has no valid readings", j)
+		}
+		// Leading gap: backfill from the first valid reading.
+		first := 0
+		for math.IsNaN(rows[first][j]) {
+			first++
+		}
+		if first > maxGap {
+			return fmt.Errorf("trace: column %d starts with a %d-step gap (max %d)", j, first, maxGap)
+		}
+		for t := 0; t < first; t++ {
+			rows[t][j] = rows[first][j]
+		}
+		// Trailing gap: forward fill from the last valid reading.
+		last := T - 1
+		for math.IsNaN(rows[last][j]) {
+			last--
+		}
+		if T-1-last > maxGap {
+			return fmt.Errorf("trace: column %d ends with a %d-step gap (max %d)", j, T-1-last, maxGap)
+		}
+		for t := last + 1; t < T; t++ {
+			rows[t][j] = rows[last][j]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSVMatrix hardens the trace CSV parser against arbitrary input:
+// it must reject garbage with an error, never panic, and anything it
+// accepts must round-trip through WriteCSV.
+func FuzzReadCSVMatrix(f *testing.F) {
+	f.Add("minute,node0,node1\n0,1.5,2.5\n60,1.6,2.6\n")
+	f.Add("minute,node0\n0,1\n")
+	f.Add("")
+	f.Add("a,b\nc,d\n")
+	f.Add("minute,node0\n0,NaN\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		rows, step, err := ReadCSVMatrix(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(rows) == 0 {
+			t.Fatal("accepted csv produced no rows")
+		}
+		n := len(rows[0])
+		for _, r := range rows {
+			if len(r) != n {
+				t.Fatal("accepted csv produced ragged rows")
+			}
+		}
+		if step < 0 {
+			return // negative steps are parseable; FromMatrix rejects them
+		}
+		// Accepted matrices must be usable as a Trace when shapes allow.
+		dep := &Deployment{Name: "fuzz", Nodes: make([]Node, n)}
+		for i := range dep.Nodes {
+			dep.Nodes[i] = Node{ID: i, X: float64(i)}
+		}
+		if step == 0 {
+			step = 60
+		}
+		tr, err := FromMatrix(dep, Temperature, rows, step)
+		if err != nil {
+			t.Fatalf("accepted csv rejected by FromMatrix: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf, Temperature); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+	})
+}

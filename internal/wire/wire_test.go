@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := Frame{
+		Step:   12345,
+		Attrs:  []int{3, 0, 17},
+		Values: []float64{21.53, -4.08, 19.999},
+	}
+	const res = 0.005
+	buf, err := Encode(f, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != f.Step || got.Special != KindReport {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	// Attrs come back sorted ascending.
+	wantAttrs := []int{0, 3, 17}
+	wantVals := []float64{-4.08, 21.53, 19.999}
+	for i := range wantAttrs {
+		if got.Attrs[i] != wantAttrs[i] {
+			t.Fatalf("attrs = %v, want %v", got.Attrs, wantAttrs)
+		}
+		if math.Abs(got.Values[i]-wantVals[i]) > res/2+1e-12 {
+			t.Fatalf("value %d = %v, want %v within %v", i, got.Values[i], wantVals[i], res/2)
+		}
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	buf, err := Encode(Frame{Step: 7}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 7 || len(got.Attrs) != 0 || len(got.Values) != 0 {
+		t.Fatalf("empty frame round trip: %+v", got)
+	}
+}
+
+func TestHeartbeatKind(t *testing.T) {
+	buf, err := Encode(Frame{Step: 1, Special: KindHeartbeat, Attrs: []int{0}, Values: []float64{1}}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Special != KindHeartbeat {
+		t.Fatalf("kind = %d", got.Special)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(Frame{Attrs: []int{0}, Values: nil}, 0.01); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	if _, err := Encode(Frame{}, 0); err == nil {
+		t.Fatal("expected error for zero resolution")
+	}
+	if _, err := Encode(Frame{Attrs: []int{-1}, Values: []float64{1}}, 0.01); err == nil {
+		t.Fatal("expected error for negative attribute")
+	}
+	if _, err := Encode(Frame{Attrs: []int{0}, Values: []float64{math.NaN()}}, 0.01); err == nil {
+		t.Fatal("expected error for NaN value")
+	}
+	if _, err := Encode(Frame{Attrs: []int{1, 1}, Values: []float64{1, 2}}, 0.01); err == nil {
+		t.Fatal("expected error for duplicate attribute")
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	good, err := Encode(Frame{Step: 9, Attrs: []int{1, 4}, Values: []float64{2, 3}}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte{0x00}, good[1:]...),
+		"bad kind":    append([]byte{Magic, 0x7}, good[2:]...),
+		"truncated":   good[:len(good)-1],
+		"trailing":    append(append([]byte{}, good...), 0xFF),
+		"only header": good[:2],
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf, 0.01); err == nil {
+			t.Errorf("%s: expected decode error", name)
+		}
+	}
+	if _, err := Decode(good, 0); err == nil {
+		t.Fatal("expected error for zero resolution at decode")
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// Clustered small attrs and modest values: the frame should be far
+	// smaller than a naive 12-bytes-per-pair encoding.
+	attrs := make([]int, 20)
+	vals := make([]float64, 20)
+	for i := range attrs {
+		attrs[i] = i + 5
+		vals[i] = 20 + float64(i)/10
+	}
+	buf, err := Encode(Frame{Step: 1000, Attrs: attrs, Values: vals}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) > 20*6 {
+		t.Fatalf("frame is %d bytes for 20 pairs — encoding not compact", len(buf))
+	}
+}
+
+// Property: round trip preserves step, kind, sorted attrs, and values to
+// within half a quantum.
+func TestQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(30)
+		perm := r.Perm(200)
+		attrs := perm[:n]
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = (r.Float64() - 0.5) * 200
+		}
+		res := []float64{0.001, 0.01, 0.5}[r.Intn(3)]
+		frame := Frame{Step: uint64(r.Intn(1 << 30)), Attrs: attrs, Values: vals}
+		buf, err := Encode(frame, res)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf, res)
+		if err != nil {
+			return false
+		}
+		if got.Step != frame.Step || len(got.Attrs) != n {
+			return false
+		}
+		// Build expected map.
+		want := map[int]float64{}
+		for i, a := range attrs {
+			want[a] = vals[i]
+		}
+		prev := -1
+		for i, a := range got.Attrs {
+			if a <= prev {
+				return false // not strictly ascending
+			}
+			prev = a
+			if math.Abs(got.Values[i]-want[a]) > res/2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
