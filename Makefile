@@ -2,13 +2,24 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench figures examples fuzz clean
+.PHONY: all check build vet fmt-check test race cover bench figures examples fuzz clean
 
 all: build test
+
+# check is the pre-commit gate: formatting, static analysis, the test
+# suite and the race detector in one go.
+check: fmt-check vet test race
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l cmd internal examples); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...

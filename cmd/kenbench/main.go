@@ -7,18 +7,23 @@
 //	kenbench -all                # every figure
 //	kenbench -all -test 5000     # paper-scale test window (5000 hours)
 //	kenbench -fig 9 -quick       # tiny configuration for smoke tests
+//	kenbench -all -metrics-out m.json   # final metrics snapshot alongside results
+//	kenbench -all -obs-addr :8080       # live /metrics + pprof while regenerating
 //
 // Output is one text table per figure, with the same rows/series the paper
 // plots and notes describing the expected shape.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"ken/internal/bench"
+	"ken/internal/obs"
 )
 
 var runners = []struct {
@@ -48,7 +53,30 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace generation seed")
 	train := flag.Int("train", 100, "training steps (hours)")
 	test := flag.Int("test", 1500, "test steps (hours); the paper uses 5000")
+	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot JSON to this file ('-' for stdout)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while regenerating (empty = off)")
+	var logFlags obs.LogFlags
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	if _, err := logFlags.Setup(nil); err != nil {
+		fmt.Fprintf(os.Stderr, "kenbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
+	if *obsAddr != "" {
+		_, bound, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			slog.Error("observability endpoint", "err", err)
+			os.Exit(1)
+		}
+		slog.Info("observability endpoint up", "addr", bound.String(),
+			"paths", "/metrics /debug/vars /debug/pprof/")
+	}
+	mFigures := reg.Counter("kenbench_figures_total")
+	mErrors := reg.Counter("kenbench_errors_total")
+	tFigure := reg.Timer("kenbench_figure_seconds")
 
 	cfg := bench.Config{Seed: *seed, TrainSteps: *train, TestSteps: *test}
 	if *quick {
@@ -71,21 +99,54 @@ func main() {
 		start := time.Now()
 		t, err := r.fn(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "kenbench: figure %d: %v\n", r.num, err)
+			mErrors.Inc()
+			slog.Error("figure regeneration failed", "figure", r.num, "err", err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		mFigures.Inc()
+		tFigure.Observe(elapsed)
+		reg.Gauge(fmt.Sprintf("kenbench_figure_%d_seconds", r.num)).Set(elapsed.Seconds())
 		write := t.WriteTo
 		if *markdown {
 			write = t.WriteMarkdown
 		}
 		if _, err := write(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "kenbench: %v\n", err)
+			slog.Error("writing table failed", "err", err)
 			os.Exit(1)
 		}
-		fmt.Printf("(figure %d regenerated in %v)\n\n", r.num, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(figure %d regenerated in %v)\n\n", r.num, elapsed.Round(time.Millisecond))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "kenbench: unknown figure %d (have 7-16)\n", *fig)
 		os.Exit(2)
 	}
+	if *metricsOut != "" {
+		if err := writeSnapshot(*metricsOut, reg); err != nil {
+			slog.Error("writing metrics snapshot failed", "err", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSnapshot dumps the registry as indented JSON to path ('-' = stdout).
+func writeSnapshot(path string, reg *obs.Registry) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reg.Snapshot()); err != nil {
+		return err
+	}
+	if path != "-" {
+		slog.Info("metrics snapshot written", "path", path)
+	}
+	return nil
 }

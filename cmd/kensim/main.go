@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"ken/internal/cliques"
@@ -22,6 +23,7 @@ import (
 	"ken/internal/mc"
 	"ken/internal/model"
 	"ken/internal/network"
+	"ken/internal/obs"
 	"ken/internal/trace"
 )
 
@@ -37,15 +39,62 @@ func main() {
 	loss := flag.Float64("loss", 0, "report loss probability (djc only; enables the §6 lossy mode)")
 	heartbeat := flag.Int("heartbeat", 0, "heartbeat interval in steps under -loss (0 = none)")
 	prob := flag.Float64("prob", 0, "probabilistic-reporting steepness (djc only; 0 = deterministic)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run (empty = off)")
+	traceOut := flag.String("trace-out", "", "write protocol event JSONL (report/suppress decisions, epochs) to this file")
+	var logFlags obs.LogFlags
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*dataset, *scheme, *k, *seed, *train, *test, *base, *eps, *loss, *heartbeat, *prob); err != nil {
+	if _, err := logFlags.Setup(nil); err != nil {
 		fmt.Fprintf(os.Stderr, "kensim: %v\n", err)
+		os.Exit(2)
+	}
+	ob, cleanup, err := setupObs(*obsAddr, *traceOut)
+	if err != nil {
+		slog.Error("observability setup failed", "err", err)
 		os.Exit(1)
 	}
+	if err := run(*dataset, *scheme, *k, *seed, *train, *test, *base, *eps, *loss, *heartbeat, *prob, ob); err != nil {
+		slog.Error("run failed", "err", err)
+		cleanup()
+		os.Exit(1)
+	}
+	cleanup()
 }
 
-func run(dataset, scheme string, k int, seed int64, trainN, testN int, baseMult, epsOverride, loss float64, heartbeat int, prob float64) error {
+// setupObs assembles the observer from the -obs-addr / -trace-out flags.
+// The returned cleanup flushes the trace sink.
+func setupObs(addr, traceOut string) (*obs.Observer, func(), error) {
+	ob := &obs.Observer{Reg: obs.NewRegistry()}
+	cleanup := func() {}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		ob.Trace = obs.NewTracer(f)
+		cleanup = func() {
+			if err := ob.Trace.Flush(); err != nil {
+				slog.Warn("trace flush failed", "err", err)
+			}
+			if err := f.Close(); err != nil {
+				slog.Warn("trace close failed", "err", err)
+			}
+			slog.Info("protocol trace written", "path", traceOut, "events", ob.Trace.Events())
+		}
+	}
+	if addr != "" {
+		_, bound, err := obs.Serve(addr, ob.Reg)
+		if err != nil {
+			return nil, nil, err
+		}
+		slog.Info("observability endpoint up", "addr", bound.String(),
+			"paths", "/metrics /debug/vars /debug/pprof/")
+	}
+	return ob, cleanup, nil
+}
+
+func run(dataset, scheme string, k int, seed int64, trainN, testN int, baseMult, epsOverride, loss float64, heartbeat int, prob float64, ob *obs.Observer) error {
 	var (
 		tr  *trace.Trace
 		err error
@@ -96,7 +145,7 @@ func run(dataset, scheme string, k int, seed int64, trainN, testN int, baseMult,
 	case "avg":
 		s, err = core.NewAverage(train, eps, model.FitConfig{Period: 24}, top)
 	case "djc":
-		s, err = buildDjC(tr, train, eps, k, seed, top, loss, heartbeat, prob)
+		s, err = buildDjC(tr, train, eps, k, seed, top, loss, heartbeat, prob, ob)
 	default:
 		return fmt.Errorf("unknown scheme %q", scheme)
 	}
@@ -104,7 +153,7 @@ func run(dataset, scheme string, k int, seed int64, trainN, testN int, baseMult,
 		return err
 	}
 
-	res, err := core.Run(s, test, eps)
+	res, err := core.RunObserved(s, test, eps, ob)
 	if err != nil {
 		return err
 	}
@@ -200,7 +249,7 @@ func buildDjCQuiet(tr *trace.Trace, train [][]float64, eps []float64, k int, see
 
 // buildDjC selects a Greedy-k partition and wires the Ken scheme,
 // optionally wrapped with loss injection or probabilistic reporting.
-func buildDjC(tr *trace.Trace, train [][]float64, eps []float64, k int, seed int64, top *network.Topology, loss float64, heartbeat int, prob float64) (core.Scheme, error) {
+func buildDjC(tr *trace.Trace, train [][]float64, eps []float64, k int, seed int64, top *network.Topology, loss float64, heartbeat int, prob float64, ob *obs.Observer) (core.Scheme, error) {
 	eval, err := cliques.NewMCEvaluator(train, eps, model.FitConfig{Period: 24},
 		mc.Config{Seed: seed})
 	if err != nil {
@@ -226,6 +275,7 @@ func buildDjC(tr *trace.Trace, train [][]float64, eps []float64, k int, seed int
 		Eps:       eps,
 		FitCfg:    model.FitConfig{Period: 24},
 		Topology:  top,
+		Obs:       ob,
 	}
 	if prob > 0 {
 		cfg.Prob = &core.ProbConfig{Steepness: prob, Seed: seed}

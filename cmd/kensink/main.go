@@ -8,16 +8,21 @@
 //
 //	kensink   -listen 127.0.0.1:7070 -dataset garden -seed 1 -k 2
 //	kensource -connect 127.0.0.1:7070 -dataset garden -seed 1 -k 2 -steps 500
+//
+// With -obs-addr the sink serves live /metrics (frames/values applied,
+// heartbeats, replica step) plus /debug/pprof while streaming.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 
 	"ken/internal/deploy"
+	"ken/internal/obs"
 	"ken/internal/stream"
 	"ken/internal/wire"
 )
@@ -30,15 +35,32 @@ func main() {
 	k := flag.Int("k", 2, "shared max clique size")
 	eps := flag.Float64("eps", 0, "shared error bound override (0 = attribute default)")
 	every := flag.Int("print", 100, "print the live answer every N frames (0 = never)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
+	var logFlags obs.LogFlags
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*listen, *dataset, *seed, *train, *k, *eps, *every); err != nil {
+	if _, err := logFlags.Setup(nil); err != nil {
 		fmt.Fprintf(os.Stderr, "kensink: %v\n", err)
+		os.Exit(2)
+	}
+	ob := &obs.Observer{Reg: obs.NewRegistry()}
+	if *obsAddr != "" {
+		_, bound, err := obs.Serve(*obsAddr, ob.Reg)
+		if err != nil {
+			slog.Error("observability endpoint", "err", err)
+			os.Exit(1)
+		}
+		slog.Info("observability endpoint up", "addr", bound.String(),
+			"paths", "/metrics /debug/vars /debug/pprof/")
+	}
+	if err := run(*listen, *dataset, *seed, *train, *k, *eps, *every, ob); err != nil {
+		slog.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, dataset string, seed int64, train, k int, eps float64, every int) error {
+func run(listen, dataset string, seed int64, train, k int, eps float64, every int, ob *obs.Observer) error {
 	dep, err := deploy.Build(deploy.Params{
 		Dataset: dataset, Seed: seed, TrainSteps: train, K: k, Epsilon: eps,
 	})
@@ -49,22 +71,23 @@ func run(listen, dataset string, seed int64, train, k int, eps float64, every in
 	if err != nil {
 		return err
 	}
+	sink.Instrument(ob)
 
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("kensink: replica ready (%s, %d nodes, partition %s)\n",
-		dataset, dep.N, dep.Partition)
-	fmt.Printf("kensink: listening on %s\n", ln.Addr())
+	slog.Info("replica ready", "dataset", dataset, "nodes", dep.N,
+		"partition", dep.Partition.String())
+	slog.Info("listening", "addr", ln.Addr().String())
 
 	conn, err := ln.Accept()
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	fmt.Printf("kensink: source connected from %s\n", conn.RemoteAddr())
+	slog.Info("source connected", "remote", conn.RemoteAddr().String())
 
 	frames := 0
 	for {
@@ -83,8 +106,7 @@ func run(listen, dataset string, seed int64, train, k int, eps float64, every in
 			printAnswer(sink, f)
 		}
 	}
-	fmt.Printf("kensink: stream closed after %d frames (%d heartbeats)\n",
-		sink.Steps(), sink.Heartbeats())
+	slog.Info("stream closed", "frames", sink.Steps(), "heartbeats", sink.Heartbeats())
 	printAnswer(sink, wire.Frame{Step: uint64(sink.Steps())})
 	return nil
 }

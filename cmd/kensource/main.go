@@ -8,15 +8,20 @@
 //
 //	kensink   -listen 127.0.0.1:7070 -dataset garden -seed 1 -k 2
 //	kensource -connect 127.0.0.1:7070 -dataset garden -seed 1 -k 2 -steps 500
+//
+// With -obs-addr the source serves live /metrics (frames/values sent,
+// heartbeats) plus /debug/pprof while streaming.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 
 	"ken/internal/deploy"
+	"ken/internal/obs"
 	"ken/internal/stream"
 )
 
@@ -29,15 +34,32 @@ func main() {
 	k := flag.Int("k", 2, "shared max clique size")
 	eps := flag.Float64("eps", 0, "shared error bound override (0 = attribute default)")
 	heartbeat := flag.Int("heartbeat", 24, "heartbeat frame interval (0 disables)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
+	var logFlags obs.LogFlags
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*connect, *dataset, *seed, *train, *steps, *k, *eps, *heartbeat); err != nil {
+	if _, err := logFlags.Setup(nil); err != nil {
 		fmt.Fprintf(os.Stderr, "kensource: %v\n", err)
+		os.Exit(2)
+	}
+	ob := &obs.Observer{Reg: obs.NewRegistry()}
+	if *obsAddr != "" {
+		_, bound, err := obs.Serve(*obsAddr, ob.Reg)
+		if err != nil {
+			slog.Error("observability endpoint", "err", err)
+			os.Exit(1)
+		}
+		slog.Info("observability endpoint up", "addr", bound.String(),
+			"paths", "/metrics /debug/vars /debug/pprof/")
+	}
+	if err := run(*connect, *dataset, *seed, *train, *steps, *k, *eps, *heartbeat, ob); err != nil {
+		slog.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(connect, dataset string, seed int64, train, steps, k int, eps float64, heartbeat int) error {
+func run(connect, dataset string, seed int64, train, steps, k int, eps float64, heartbeat int, ob *obs.Observer) error {
 	dep, err := deploy.Build(deploy.Params{
 		Dataset: dataset, Seed: seed, TrainSteps: train, TestSteps: steps,
 		K: k, Epsilon: eps, HeartbeatEvery: heartbeat,
@@ -49,14 +71,15 @@ func run(connect, dataset string, seed int64, train, steps, k int, eps float64, 
 	if err != nil {
 		return err
 	}
+	src.Instrument(ob)
 
 	conn, err := net.Dial("tcp", connect)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	fmt.Printf("kensource: connected to %s, streaming %d steps (%s, partition %s)\n",
-		connect, len(dep.Test), dataset, dep.Partition)
+	slog.Info("connected", "addr", connect, "steps", len(dep.Test),
+		"dataset", dataset, "partition", dep.Partition.String())
 
 	values := 0
 	for _, row := range dep.Test {
@@ -70,7 +93,7 @@ func run(connect, dataset string, seed int64, train, steps, k int, eps float64, 
 		}
 	}
 	total := len(dep.Test) * dep.N
-	fmt.Printf("kensource: done — %d of %d values on the wire (%.1f%%)\n",
-		values, total, 100*float64(values)/float64(total))
+	slog.Info("done", "values_sent", values, "values_total", total,
+		"fraction", fmt.Sprintf("%.1f%%", 100*float64(values)/float64(total)))
 	return nil
 }

@@ -15,8 +15,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
+	"ken/internal/obs"
 	"ken/internal/stats"
 	"ken/internal/trace"
 )
@@ -28,7 +30,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	summary := flag.Bool("summary", false, "print a summary instead of CSV")
 	diagnose := flag.Bool("diagnose", false, "print model-selection diagnostics instead of CSV")
+	var logFlags obs.LogFlags
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	if _, err := logFlags.Setup(nil); err != nil {
+		fmt.Fprintf(os.Stderr, "kentrace: %v\n", err)
+		os.Exit(2)
+	}
 
 	var (
 		tr  *trace.Trace
@@ -40,11 +49,11 @@ func main() {
 	case "lab":
 		tr, err = trace.GenerateLab(*seed, *steps)
 	default:
-		fmt.Fprintf(os.Stderr, "kentrace: unknown dataset %q (garden or lab)\n", *dataset)
+		slog.Error("unknown dataset (garden or lab)", "dataset", *dataset)
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "kentrace: %v\n", err)
+		slog.Error("trace generation failed", "err", err)
 		os.Exit(1)
 	}
 
@@ -57,7 +66,7 @@ func main() {
 	case "voltage":
 		a = trace.Voltage
 	default:
-		fmt.Fprintf(os.Stderr, "kentrace: unknown attribute %q\n", *attr)
+		slog.Error("unknown attribute", "attr", *attr)
 		os.Exit(2)
 	}
 
@@ -67,13 +76,13 @@ func main() {
 	}
 	if *diagnose {
 		if err := printDiagnostics(tr, a); err != nil {
-			fmt.Fprintf(os.Stderr, "kentrace: %v\n", err)
+			slog.Error("diagnostics failed", "err", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if err := tr.WriteCSV(os.Stdout, a); err != nil {
-		fmt.Fprintf(os.Stderr, "kentrace: %v\n", err)
+		slog.Error("CSV write failed", "err", err)
 		os.Exit(1)
 	}
 }

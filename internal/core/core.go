@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"ken/internal/obs"
 )
 
 // Scheme is a data-collection protocol replayed over a trace.
@@ -105,6 +107,15 @@ var ErrEmptyTest = errors.New("core: empty test data")
 // against the ε bounds. eps may be nil to skip auditing (e.g. for schemes
 // intentionally run with probabilistic guarantees).
 func Run(s Scheme, test [][]float64, eps []float64) (*Result, error) {
+	return RunObserved(s, test, eps, nil)
+}
+
+// RunObserved is Run with an observability sink: per-epoch start/end trace
+// events and live audit metrics (epochs, values, ε-violations, running max
+// error) flow into ob while the replay progresses — the handle a live
+// /metrics endpoint watches during a long simulation. ob may be nil, which
+// is exactly Run.
+func RunObserved(s Scheme, test [][]float64, eps []float64, ob *obs.Observer) (*Result, error) {
 	if len(test) == 0 {
 		return nil, ErrEmptyTest
 	}
@@ -112,6 +123,12 @@ func Run(s Scheme, test [][]float64, eps []float64) (*Result, error) {
 	if eps != nil && len(eps) != n {
 		return nil, fmt.Errorf("core: eps dim %d, scheme dim %d", len(eps), n)
 	}
+	reg := ob.Registry()
+	tracer := ob.Tracer()
+	mEpochs := reg.Counter("ken_epochs_total")
+	mRunValues := reg.Counter("ken_run_values_reported_total")
+	mViolations := reg.Counter("ken_epsilon_violations_total")
+	gMaxErr := reg.Gauge("ken_max_abs_error")
 	res := &Result{
 		Scheme:          s.Name(),
 		Steps:           len(test),
@@ -123,6 +140,9 @@ func Run(s Scheme, test [][]float64, eps []float64) (*Result, error) {
 	for t, truth := range test {
 		if len(truth) != n {
 			return nil, fmt.Errorf("core: test row %d has dim %d, want %d", t, len(truth), n)
+		}
+		if tracer != nil {
+			tracer.Emit(obs.Event{Type: obs.EvEpochStart, Step: int64(t), Clique: -1, Node: -1, Detail: s.Name()})
 		}
 		est, st, err := s.Step(truth)
 		if err != nil {
@@ -137,6 +157,7 @@ func Run(s Scheme, test [][]float64, eps []float64) (*Result, error) {
 		res.PerStepReported = append(res.PerStepReported, st.ValuesReported)
 		res.ReportedAttrs = append(res.ReportedAttrs, st.Reported)
 		res.Estimates = append(res.Estimates, est)
+		stepViolations := 0
 		for i := range truth {
 			d := math.Abs(est[i] - truth[i])
 			absErrSum += d
@@ -145,7 +166,15 @@ func Run(s Scheme, test [][]float64, eps []float64) (*Result, error) {
 			}
 			if eps != nil && d > eps[i]+1e-9 {
 				res.BoundViolations++
+				stepViolations++
 			}
+		}
+		mEpochs.Inc()
+		mRunValues.Add(int64(st.ValuesReported))
+		mViolations.Add(int64(stepViolations))
+		gMaxErr.Set(res.MaxAbsError)
+		if tracer != nil {
+			tracer.Emit(obs.Event{Type: obs.EvEpochEnd, Step: int64(t), Clique: -1, Node: -1, N: st.ValuesReported})
 		}
 	}
 	res.MeanAbsError = absErrSum / float64(res.Steps*n)

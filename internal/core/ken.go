@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"time"
 
 	"ken/internal/cliques"
 	"ken/internal/model"
 	"ken/internal/network"
+	"ken/internal/obs"
 )
 
 // ProbConfig enables probabilistic reporting (§6 "Probabilistic
@@ -56,6 +59,10 @@ type KenConfig struct {
 	Exhaustive bool
 	// Prob, when non-nil, enables probabilistic reporting.
 	Prob *ProbConfig
+	// Obs, when non-nil, attaches metrics and protocol event tracing.
+	// With a nil observer the instrumented step path costs nothing beyond
+	// nil checks (see package obs).
+	Obs *obs.Observer
 }
 
 // kenClique is one clique's runtime state: the two replicated models.
@@ -79,6 +86,20 @@ type Ken struct {
 	exhaustive bool
 	prob       *ProbConfig
 	rng        *rand.Rand
+
+	// Observability handles, resolved once in NewKen; all nil (and
+	// therefore no-ops) when KenConfig.Obs is unset.
+	tracer        *obs.Tracer
+	stepN         int64
+	mValues       *obs.Counter // ken_values_reported_total
+	mSuppressed   *obs.Counter // ken_values_suppressed_total
+	mReportMsgs   *obs.Counter // ken_report_messages_total
+	mProbFlips    *obs.Counter // ken_prob_flips_total
+	mProbSuppress *obs.Counter // ken_prob_suppressed_total
+	mStepSeconds  *obs.Timer   // ken_step_seconds
+	mHeartbeats   *obs.Counter // ken_heartbeats_total (lossy wrapper)
+	mLostReports  *obs.Counter // ken_lost_reports_total (lossy wrapper)
+	stepObserved  bool         // true when mStepSeconds is live
 }
 
 var _ Scheme = (*Ken)(nil)
@@ -113,6 +134,17 @@ func NewKen(cfg KenConfig) (*Ken, error) {
 		exhaustive: cfg.Exhaustive,
 		prob:       cfg.Prob,
 	}
+	k.tracer = cfg.Obs.Tracer()
+	reg := cfg.Obs.Registry()
+	k.mValues = reg.Counter("ken_values_reported_total")
+	k.mSuppressed = reg.Counter("ken_values_suppressed_total")
+	k.mReportMsgs = reg.Counter("ken_report_messages_total")
+	k.mProbFlips = reg.Counter("ken_prob_flips_total")
+	k.mProbSuppress = reg.Counter("ken_prob_suppressed_total")
+	k.mHeartbeats = reg.Counter("ken_heartbeats_total")
+	k.mLostReports = reg.Counter("ken_lost_reports_total")
+	k.mStepSeconds = reg.Timer("ken_step_seconds")
+	k.stepObserved = reg != nil
 	if cfg.Prob != nil {
 		if cfg.Prob.Steepness <= 0 {
 			return nil, fmt.Errorf("core: probabilistic reporting needs positive steepness, got %v", cfg.Prob.Steepness)
@@ -185,6 +217,10 @@ func (k *Ken) Step(truth []float64) ([]float64, StepStats, error) {
 	if len(truth) != k.n {
 		return nil, StepStats{}, fmt.Errorf("core: truth dim %d, want %d", len(truth), k.n)
 	}
+	var start time.Time
+	if k.stepObserved {
+		start = time.Now()
+	}
 	est := make([]float64, k.n)
 	var st StepStats
 	for ci := range k.cliques {
@@ -217,12 +253,73 @@ func (k *Ken) Step(truth []float64) ([]float64, StepStats, error) {
 		} else {
 			st.SinkCost += float64(len(obs)) * k.top.CommToBase(c.root)
 		}
+		k.observeClique(ci, c, obs)
 		mean := c.sink.Mean()
 		for i, g := range c.members {
 			est[g] = mean[i]
 		}
 	}
+	k.stepN++
+	if k.stepObserved {
+		k.mStepSeconds.Observe(time.Since(start))
+	}
 	return est, st, nil
+}
+
+// observeClique feeds one clique's report decision into the metrics and
+// tracer. Counter handles are nil-safe; the trace branch, which allocates
+// the attr slices, is guarded so the unobserved path allocates nothing.
+func (k *Ken) observeClique(ci int, c *kenClique, reported map[int]float64) {
+	k.mValues.Add(int64(len(reported)))
+	k.mSuppressed.Add(int64(len(c.members) - len(reported)))
+	if len(reported) > 0 {
+		k.mReportMsgs.Inc()
+	}
+	if k.tracer == nil {
+		return
+	}
+	attrs := make([]int, 0, len(reported))
+	values := make([]float64, 0, len(reported))
+	for _, i := range sortedReportKeys(reported) {
+		attrs = append(attrs, c.members[i])
+		values = append(values, reported[i])
+	}
+	if len(attrs) > 0 {
+		k.tracer.Emit(obs.Event{
+			Type: obs.EvReport, Step: k.stepN, Clique: ci, Node: c.root,
+			Attrs: attrs, Values: values,
+		})
+	}
+	if len(reported) < len(c.members) {
+		supp := make([]int, 0, len(c.members)-len(reported))
+		for i, g := range c.members {
+			if _, ok := reported[i]; !ok {
+				supp = append(supp, g)
+			}
+		}
+		k.tracer.Emit(obs.Event{
+			Type: obs.EvSuppress, Step: k.stepN, Clique: ci, Node: c.root,
+			Attrs: supp,
+		})
+	}
+}
+
+// emitResync traces a heartbeat re-synchronisation (lossy wrapper).
+func (k *Ken) emitResync(step int64) {
+	if k.tracer == nil {
+		return
+	}
+	k.tracer.Emit(obs.Event{Type: obs.EvResync, Step: step, Clique: -1, Node: -1})
+}
+
+// sortedReportKeys iterates a report set deterministically for tracing.
+func sortedReportKeys(m map[int]float64) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // chooseReport runs the configured report-set policy on the source model.
@@ -249,8 +346,13 @@ func (k *Ken) chooseProbabilistic(c *kenClique, local []float64) (map[int]float6
 			continue
 		}
 		p := 1 - math.Exp(-k.prob.Steepness*(ratio-1))
+		k.mProbFlips.Inc()
 		if k.rng.Float64() < p {
 			obs[i] = local[i]
+		} else {
+			// A bound violation survived the coin flip unreported — the
+			// stochastic relaxation §6 trades for extra savings.
+			k.mProbSuppress.Inc()
 		}
 	}
 	return obs, nil

@@ -79,6 +79,8 @@ func (l *LossyKen) Step(truth []float64) ([]float64, StepStats, error) {
 	heartbeat := l.cfg.HeartbeatEvery > 0 && l.step%l.cfg.HeartbeatEvery == 0
 	if heartbeat {
 		l.Heartbeats++
+		k.mHeartbeats.Inc()
+		k.emitResync(int64(l.step))
 	}
 
 	est := make([]float64, k.n)
@@ -119,6 +121,7 @@ func (l *LossyKen) Step(truth []float64) ([]float64, StepStats, error) {
 			for i, v := range obs {
 				if l.rng.Float64() < l.cfg.LossRate {
 					l.LostMessages++
+					k.mLostReports.Inc()
 					continue
 				}
 				delivered[i] = v
@@ -132,6 +135,7 @@ func (l *LossyKen) Step(truth []float64) ([]float64, StepStats, error) {
 		for i := range obs {
 			st.Reported = append(st.Reported, c.members[i])
 		}
+		k.observeClique(ci, c, obs)
 		st.IntraCost += c.intra
 		if k.top == nil {
 			st.SinkCost += float64(len(obs))
@@ -143,5 +147,6 @@ func (l *LossyKen) Step(truth []float64) ([]float64, StepStats, error) {
 			est[g] = mean[i]
 		}
 	}
+	k.stepN++
 	return est, st, nil
 }

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// LogFlags is the shared logging configuration of the cmd binaries.
+// Register it on a FlagSet with Register, then call Setup after
+// flag.Parse.
+type LogFlags struct {
+	Level string
+	JSON  bool
+}
+
+// Register installs the -log-level and -log-json flags.
+func (l *LogFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&l.Level, "log-level", "info", "log level: debug, info, warn or error")
+	fs.BoolVar(&l.JSON, "log-json", false, "emit structured JSON logs instead of text")
+}
+
+// Setup builds the logger on w (os.Stderr when nil), installs it as the
+// slog default, and returns it.
+func (l LogFlags) Setup(w io.Writer) (*slog.Logger, error) {
+	if w == nil {
+		w = os.Stderr
+	}
+	var level slog.Level
+	switch l.Level {
+	case "debug":
+		level = slog.LevelDebug
+	case "info", "":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", l.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if l.JSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	logger := slog.New(h)
+	slog.SetDefault(logger)
+	return logger, nil
+}

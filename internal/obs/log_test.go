@@ -1,0 +1,85 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"ken/internal/obs"
+)
+
+// keepDefaultLogger restores the process-wide slog default after a test
+// that calls Setup (which installs its logger globally).
+func keepDefaultLogger(t *testing.T) {
+	t.Helper()
+	prev := slog.Default()
+	t.Cleanup(func() { slog.SetDefault(prev) })
+}
+
+func TestLogFlagsRegisterAndParse(t *testing.T) {
+	var lf obs.LogFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	lf.Register(fs)
+	if err := fs.Parse([]string{"-log-level", "warn", "-log-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if lf.Level != "warn" || !lf.JSON {
+		t.Fatalf("parsed %+v, want level warn, JSON true", lf)
+	}
+}
+
+func TestLogSetupLevelFiltering(t *testing.T) {
+	keepDefaultLogger(t)
+	var buf bytes.Buffer
+	logger, err := obs.LogFlags{Level: "warn"}.Setup(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("hidden")
+	logger.Warn("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked through warn level: %q", out)
+	}
+	if !strings.Contains(out, "visible") {
+		t.Errorf("warn line missing: %q", out)
+	}
+}
+
+func TestLogSetupJSONHandler(t *testing.T) {
+	keepDefaultLogger(t)
+	var buf bytes.Buffer
+	logger, err := obs.LogFlags{Level: "info", JSON: true}.Setup(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("event", "epoch", 7)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "event" || rec["epoch"] != float64(7) {
+		t.Errorf("record=%v", rec)
+	}
+}
+
+func TestLogSetupInstallsDefault(t *testing.T) {
+	keepDefaultLogger(t)
+	var buf bytes.Buffer
+	if _, err := (obs.LogFlags{Level: "info"}).Setup(&buf); err != nil {
+		t.Fatal(err)
+	}
+	slog.Info("via default")
+	if !strings.Contains(buf.String(), "via default") {
+		t.Errorf("slog default not installed: %q", buf.String())
+	}
+}
+
+func TestLogSetupUnknownLevel(t *testing.T) {
+	if _, err := (obs.LogFlags{Level: "loud"}).Setup(&bytes.Buffer{}); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventType names a protocol event. The set covers the observable decision
+// points of the Ken pipeline; docs/OBSERVABILITY.md maps each to its place
+// in the paper.
+type EventType string
+
+const (
+	// EvEpochStart marks the beginning of one sampling epoch (one trace row
+	// replayed, or one simnet round).
+	EvEpochStart EventType = "epoch_start"
+	// EvEpochEnd closes an epoch; N carries the values reported during it.
+	EvEpochEnd EventType = "epoch_end"
+	// EvReport records a clique source transmitting Attrs/Values to the
+	// sink — the minimal set that pulls predictions back inside ε (§3.2).
+	EvReport EventType = "report"
+	// EvSuppress records the attributes a clique did NOT transmit because
+	// the replicated model already predicted them within ε — the savings
+	// the paper's Figs 9/10 plot.
+	EvSuppress EventType = "suppress"
+	// EvPull records a BBQ-style pull engine acquiring one reading on
+	// demand (attribute in Node, reading in Values).
+	EvPull EventType = "pull_acquire"
+	// EvNodeFailure records a simulated node exhausting its battery.
+	EvNodeFailure EventType = "node_failure"
+	// EvResync records a full-value heartbeat re-synchronising the
+	// replicated models after possible divergence (§6 message loss).
+	EvResync EventType = "model_resync"
+)
+
+// Event is one structured protocol event. Clique and Node are -1 when not
+// applicable so that index 0 stays unambiguous.
+type Event struct {
+	Type   EventType `json:"type"`
+	Step   int64     `json:"step"`
+	Clique int       `json:"clique"`
+	Node   int       `json:"node"`
+	Attrs  []int     `json:"attrs,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+	N      int       `json:"n,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Tracer serialises protocol events as JSON Lines. A nil *Tracer is the
+// "tracing off" mode: Emit returns immediately. Emit is safe for
+// concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	err    error
+	events int64
+}
+
+// NewTracer wraps the writer (typically an *os.File) in a buffered JSONL
+// encoder. Call Flush (or Close the underlying file after Flush) when done.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit appends one event. The first encoding error sticks and is reported
+// by Flush; later events are dropped so a broken sink cannot stall the
+// protocol.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(e); err != nil {
+		t.err = fmt.Errorf("obs: trace emit: %w", err)
+		return
+	}
+	t.events++
+}
+
+// Events returns how many events were successfully emitted.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Flush drains the buffer and returns the first error seen (emit or
+// flush). Safe on nil.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = fmt.Errorf("obs: trace flush: %w", err)
+	}
+	return t.err
+}
+
+// ReadEvents decodes a JSONL stream written by a Tracer — the replay side
+// of protocol tracing.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: reading trace event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}

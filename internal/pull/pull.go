@@ -20,6 +20,7 @@ import (
 	"ken/internal/mat"
 	"ken/internal/model"
 	"ken/internal/network"
+	"ken/internal/obs"
 )
 
 // Source supplies ground-truth readings on demand — in a deployment this
@@ -61,6 +62,37 @@ type Answer struct {
 type Engine struct {
 	m   *model.LinearGaussian
 	top *network.Topology // optional acquisition pricing
+
+	// Observability handles (nil and no-op until Instrument is called).
+	tracer        *obs.Tracer
+	queries       int64
+	mQueries      *obs.Counter   // pull_queries_total
+	mAcquisitions *obs.Counter   // pull_acquisitions_total
+	gCost         *obs.Gauge     // pull_acquisition_cost_total
+	hPerQuery     *obs.Histogram // pull_acquisitions_per_query
+}
+
+// Instrument attaches metrics and pull-request event tracing to the
+// engine. A nil observer leaves it unobserved (the default).
+func (e *Engine) Instrument(ob *obs.Observer) {
+	e.tracer = ob.Tracer()
+	reg := ob.Registry()
+	e.mQueries = reg.Counter("pull_queries_total")
+	e.mAcquisitions = reg.Counter("pull_acquisitions_total")
+	e.gCost = reg.Gauge("pull_acquisition_cost_total")
+	e.hPerQuery = reg.Histogram("pull_acquisitions_per_query")
+}
+
+// observeAcquire records one on-demand reading acquisition.
+func (e *Engine) observeAcquire(attr int, v, cost float64) {
+	e.mAcquisitions.Inc()
+	e.gCost.Add(cost)
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{
+			Type: obs.EvPull, Step: e.queries, Clique: -1, Node: attr,
+			Values: []float64{v},
+		})
+	}
 }
 
 // New builds an engine over the model. top may be nil (unit acquisition
@@ -123,6 +155,8 @@ func (e *Engine) Query(q ValueQuery, src Source) (*Answer, error) {
 	if src == nil {
 		return nil, errors.New("pull: nil source")
 	}
+	e.queries++
+	e.mQueries.Inc()
 
 	ans := &Answer{}
 	acquired := map[int]bool{}
@@ -159,7 +193,9 @@ func (e *Engine) Query(q ValueQuery, src Source) (*Answer, error) {
 		acquired[worst] = true
 		ans.Acquired = append(ans.Acquired, worst)
 		ans.Cost += e.acquisitionCost(worst)
+		e.observeAcquire(worst, v, e.acquisitionCost(worst))
 	}
+	e.hPerQuery.Observe(float64(len(ans.Acquired)))
 
 	mean := e.m.Mean()
 	cov := e.m.Cov()
@@ -225,6 +261,8 @@ func (e *Engine) QueryAverage(q AvgQuery, src Source) (*AvgAnswer, error) {
 	if src == nil {
 		return nil, errors.New("pull: nil source")
 	}
+	e.queries++
+	e.mQueries.Inc()
 
 	ans := &AvgAnswer{}
 	acquired := map[int]bool{}
@@ -265,7 +303,9 @@ func (e *Engine) QueryAverage(q AvgQuery, src Source) (*AvgAnswer, error) {
 		acquired[best] = true
 		ans.Acquired = append(ans.Acquired, best)
 		ans.Cost += e.acquisitionCost(best)
+		e.observeAcquire(best, v, e.acquisitionCost(best))
 	}
+	e.hPerQuery.Observe(float64(len(ans.Acquired)))
 
 	mean := e.m.Mean()
 	cov := e.m.Cov()

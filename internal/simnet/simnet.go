@@ -25,6 +25,7 @@ import (
 	"math/rand"
 
 	"ken/internal/network"
+	"ken/internal/obs"
 )
 
 // Radio holds the energy/cost parameters of the simulated radio and node.
@@ -94,6 +95,19 @@ type Network struct {
 	energy []float64 // remaining J per sensor node (base is mains-powered)
 	alive  []bool
 	stats  Stats
+
+	// Observability handles (nil and no-op until Instrument is called).
+	tracer     *obs.Tracer
+	mEpochs    *obs.Counter   // simnet_epochs_total
+	mMsgs      *obs.Counter   // simnet_messages_sent_total
+	mBytes     *obs.Counter   // simnet_bytes_sent_total
+	mDelivered *obs.Counter   // simnet_delivered_total
+	mDropLoss  *obs.Counter   // simnet_dropped_loss_total
+	mDropRoute *obs.Counter   // simnet_dropped_noroute_total
+	mDeaths    *obs.Counter   // simnet_node_deaths_total
+	gEnergy    *obs.Gauge     // simnet_energy_spent_joules
+	gAlive     *obs.Gauge     // simnet_alive_nodes
+	hMsgBytes  *obs.Histogram // simnet_message_bytes
 }
 
 // ErrNoRoute is returned internally when no live path exists.
@@ -123,6 +137,25 @@ func New(top *network.Topology, radio Radio, seed int64) (*Network, error) {
 		net.alive[i] = true
 	}
 	return net, nil
+}
+
+// Instrument attaches metrics and protocol event tracing to the network.
+// Call before the first epoch; a nil observer leaves the network
+// unobserved (the default).
+func (s *Network) Instrument(ob *obs.Observer) {
+	s.tracer = ob.Tracer()
+	reg := ob.Registry()
+	s.mEpochs = reg.Counter("simnet_epochs_total")
+	s.mMsgs = reg.Counter("simnet_messages_sent_total")
+	s.mBytes = reg.Counter("simnet_bytes_sent_total")
+	s.mDelivered = reg.Counter("simnet_delivered_total")
+	s.mDropLoss = reg.Counter("simnet_dropped_loss_total")
+	s.mDropRoute = reg.Counter("simnet_dropped_noroute_total")
+	s.mDeaths = reg.Counter("simnet_node_deaths_total")
+	s.gEnergy = reg.Gauge("simnet_energy_spent_joules")
+	s.gAlive = reg.Gauge("simnet_alive_nodes")
+	s.hMsgBytes = reg.Histogram("simnet_message_bytes")
+	s.gAlive.Set(float64(s.AliveCount()))
 }
 
 // Base returns the base station vertex.
@@ -157,6 +190,14 @@ func (s *Network) BeginEpoch() {
 			s.spend(i, s.radio.IdlePerEpoch)
 		}
 	}
+	s.mEpochs.Inc()
+	s.gAlive.Set(float64(s.AliveCount()))
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{
+			Type: obs.EvEpochStart, Step: int64(s.stats.Epochs), Clique: -1, Node: -1,
+			N: s.AliveCount(),
+		})
+	}
 }
 
 // spend drains energy from node i, flipping it dead at zero.
@@ -166,9 +207,17 @@ func (s *Network) spend(i int, j float64) {
 	}
 	s.energy[i] -= j
 	s.stats.EnergySpent += j
+	s.gEnergy.Add(j)
 	if s.energy[i] <= 0 {
 		s.energy[i] = 0
 		s.alive[i] = false
+		s.mDeaths.Inc()
+		s.gAlive.Set(float64(s.AliveCount()))
+		if s.tracer != nil {
+			s.tracer.Emit(obs.Event{
+				Type: obs.EvNodeFailure, Step: int64(s.stats.Epochs), Clique: -1, Node: i,
+			})
+		}
 	}
 }
 
@@ -187,23 +236,29 @@ func (s *Network) liveVertex(v int) bool {
 func (s *Network) Send(msg Message) bool {
 	if !s.liveVertex(msg.From) {
 		s.stats.DroppedNoPath++
+		s.mDropRoute.Inc()
 		return false
 	}
 	bytes := msg.bytes(s.radio.OverheadBytes)
+	s.hMsgBytes.Observe(float64(bytes))
 	cur := msg.From
 	for cur != msg.To {
 		next, err := s.nextHop(cur, msg.To)
 		if err != nil {
 			s.stats.DroppedNoPath++
+			s.mDropRoute.Inc()
 			return false
 		}
 		// Transmit.
 		s.stats.MessagesSent++
 		s.stats.BytesSent += bytes
+		s.mMsgs.Inc()
+		s.mBytes.Add(int64(bytes))
 		s.spend(cur, s.radio.TxPerByte*float64(bytes))
 		// Per-hop loss: energy already spent, message gone.
 		if s.radio.LossRate > 0 && s.rng.Float64() < s.radio.LossRate {
 			s.stats.DroppedLoss++
+			s.mDropLoss.Inc()
 			return false
 		}
 		// Receive.
@@ -211,11 +266,13 @@ func (s *Network) Send(msg Message) bool {
 		if !s.liveVertex(next) {
 			// Receiver died mid-receive; the message is lost.
 			s.stats.DroppedNoPath++
+			s.mDropRoute.Inc()
 			return false
 		}
 		cur = next
 	}
 	s.stats.Delivered++
+	s.mDelivered.Inc()
 	return true
 }
 

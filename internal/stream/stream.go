@@ -24,6 +24,7 @@ import (
 
 	"ken/internal/cliques"
 	"ken/internal/model"
+	"ken/internal/obs"
 	"ken/internal/wire"
 )
 
@@ -121,6 +122,22 @@ type Source struct {
 	step    uint64
 	hbEvery int
 	sinceHB int
+
+	// Observability handles (nil and no-op until Instrument is called).
+	tracer      *obs.Tracer
+	mFrames     *obs.Counter // stream_frames_sent_total
+	mValues     *obs.Counter // stream_values_sent_total
+	mHeartbeats *obs.Counter // stream_heartbeats_sent_total
+}
+
+// Instrument attaches metrics and heartbeat-resync tracing to the source
+// endpoint. A nil observer leaves it unobserved (the default).
+func (s *Source) Instrument(ob *obs.Observer) {
+	s.tracer = ob.Tracer()
+	reg := ob.Registry()
+	s.mFrames = reg.Counter("stream_frames_sent_total")
+	s.mValues = reg.Counter("stream_values_sent_total")
+	s.mHeartbeats = reg.Counter("stream_heartbeats_sent_total")
 }
 
 // NewSource builds the source endpoint.
@@ -184,6 +201,14 @@ func (s *Source) Collect(truth []float64) (wire.Frame, error) {
 			return wire.Frame{}, err
 		}
 	}
+	s.mFrames.Inc()
+	s.mValues.Add(int64(len(frame.Attrs)))
+	if heartbeat {
+		s.mHeartbeats.Inc()
+		if s.tracer != nil {
+			s.tracer.Emit(obs.Event{Type: obs.EvResync, Step: int64(s.step), Clique: -1, Node: -1})
+		}
+	}
 	s.step++
 	return frame, nil
 }
@@ -201,6 +226,24 @@ type Replica struct {
 	next uint64 // expected next frame step
 	// Frames counts applied frames; Heartbeats counts heartbeat frames.
 	frames, heartbeats int
+
+	// Observability handles (nil and no-op until Instrument is called).
+	mFrames     *obs.Counter // stream_frames_applied_total
+	mValues     *obs.Counter // stream_values_applied_total
+	mHeartbeats *obs.Counter // stream_heartbeats_applied_total
+	gStep       *obs.Gauge   // stream_replica_step
+}
+
+// Instrument attaches metrics to the sink endpoint. A nil observer leaves
+// it unobserved (the default).
+func (r *Replica) Instrument(ob *obs.Observer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	reg := ob.Registry()
+	r.mFrames = reg.Counter("stream_frames_applied_total")
+	r.mValues = reg.Counter("stream_values_applied_total")
+	r.mHeartbeats = reg.Counter("stream_heartbeats_applied_total")
+	r.gStep = reg.Gauge("stream_replica_step")
 }
 
 // NewReplica builds the sink endpoint.
@@ -246,8 +289,12 @@ func (r *Replica) Apply(f wire.Frame) error {
 	}
 	r.next++
 	r.frames++
+	r.mFrames.Inc()
+	r.mValues.Add(int64(len(f.Attrs)))
+	r.gStep.Set(float64(f.Step))
 	if f.Special == wire.KindHeartbeat {
 		r.heartbeats++
+		r.mHeartbeats.Inc()
 	}
 	return nil
 }
