@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet fmt-check test race cover bench figures examples fuzz clean
+.PHONY: all check build vet fmt-check test race cover bench bench-smoke figures examples fuzz clean
 
 all: build test
 
@@ -32,6 +32,10 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fast end-to-end pass over every figure on the parallel engine.
+bench-smoke:
+	$(GO) run ./cmd/kenbench -all -quick -parallel 8
 
 # Regenerate every figure of the paper plus the extension/sweep tables.
 figures:

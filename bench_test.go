@@ -11,6 +11,7 @@ package ken_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"strconv"
@@ -45,12 +46,14 @@ func benchCfg() bench.Config {
 	}
 }
 
-// runFigure drives a figure runner b.N times.
-func runFigure(b *testing.B, fn func(bench.Config) (*bench.Table, error)) *bench.Table {
+// runFigure drives a figure runner b.N times. Each iteration gets a nil
+// engine (sequential, cold cache) so the benchmark measures full figure
+// regeneration, as before the engine existed.
+func runFigure(b *testing.B, fn bench.Runner) *bench.Table {
 	b.Helper()
 	var last *bench.Table
 	for i := 0; i < b.N; i++ {
-		t, err := fn(benchCfg())
+		t, err := fn(context.Background(), nil, benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,28 +7,39 @@
 //	kenbench -all                # every figure
 //	kenbench -all -test 5000     # paper-scale test window (5000 hours)
 //	kenbench -fig 9 -quick       # tiny configuration for smoke tests
+//	kenbench -all -parallel 8    # run each figure's cells on 8 workers
 //	kenbench -all -metrics-out m.json   # final metrics snapshot alongside results
 //	kenbench -all -obs-addr :8080       # live /metrics + pprof while regenerating
+//
+// Figures run one at a time (so output streams incrementally), but within a
+// figure the independent cells — one scheme/config/row each — execute on the
+// engine's worker pool and share generated traces, Monte Carlo evaluators
+// and clique partitions through its artifact cache. Results are
+// byte-identical at any -parallel width; Ctrl-C cancels mid-figure.
 //
 // Output is one text table per figure, with the same rows/series the paper
 // plots and notes describing the expected shape.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ken/internal/bench"
+	"ken/internal/engine"
 	"ken/internal/obs"
 )
 
 var runners = []struct {
 	num int
-	fn  func(bench.Config) (*bench.Table, error)
+	fn  bench.Runner
 }{
 	{7, bench.Fig7},
 	{8, bench.Fig8},
@@ -53,6 +64,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace generation seed")
 	train := flag.Int("train", 100, "training steps (hours)")
 	test := flag.Int("test", 1500, "test steps (hours); the paper uses 5000")
+	parallel := flag.Int("parallel", 0, "worker pool width for experiment cells (0 = GOMAXPROCS, 1 = sequential)")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot JSON to this file ('-' for stdout)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while regenerating (empty = off)")
 	var logFlags obs.LogFlags
@@ -90,6 +102,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One engine for the whole invocation: artifacts (traces, evaluators,
+	// partitions) deduplicate across figures, not just within one.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	eng := engine.New(engine.Options{
+		Workers: *parallel,
+		Obs:     &obs.Observer{Reg: reg},
+	})
+	slog.Debug("engine configured", "workers", eng.Workers())
+
 	ran := false
 	for _, r := range runners {
 		if !*all && r.num != *fig {
@@ -97,7 +119,7 @@ func main() {
 		}
 		ran = true
 		start := time.Now()
-		t, err := r.fn(cfg)
+		t, err := r.fn(ctx, eng, cfg)
 		if err != nil {
 			mErrors.Inc()
 			slog.Error("figure regeneration failed", "figure", r.num, "err", err)

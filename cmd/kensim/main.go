@@ -1,7 +1,8 @@
 // Command kensim runs a single Ken data-collection simulation: it generates
-// a deployment trace, fits models on the training prefix, selects a
-// Disjoint-Cliques partition with Greedy-k, replays the chosen scheme over
-// the test window, and reports savings, cost and the error guarantee.
+// a deployment trace, fits models on the training prefix, resolves the
+// requested scheme through the core registry (selecting a Disjoint-Cliques
+// partition with Greedy-k where needed), replays it over the test window,
+// and reports savings, cost and the error guarantee.
 //
 // Usage:
 //
@@ -9,17 +10,22 @@
 //	kensim -dataset lab -scheme apc -test 2000
 //	kensim -dataset garden -scheme djc -k 2 -base 5     # topology-priced run
 //	kensim -dataset garden -scheme avg
-//	kensim -dataset garden -scheme all                  # side-by-side comparison
+//	kensim -dataset garden -scheme djc4                 # registry name with k inline
+//	kensim -dataset garden -scheme all -parallel 4      # side-by-side comparison
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"ken/internal/cliques"
 	"ken/internal/core"
+	"ken/internal/engine"
 	"ken/internal/mc"
 	"ken/internal/model"
 	"ken/internal/network"
@@ -29,7 +35,7 @@ import (
 
 func main() {
 	dataset := flag.String("dataset", "garden", "deployment: garden or lab")
-	scheme := flag.String("scheme", "djc", "scheme: tinydb, apc, avg or djc")
+	scheme := flag.String("scheme", "djc", "scheme name resolved via the core registry: tinydb, apc, avg, djc (uses -k), djc<k>, or all")
 	k := flag.Int("k", 3, "max clique size for the djc scheme")
 	seed := flag.Int64("seed", 1, "generator seed")
 	train := flag.Int("train", 100, "training steps (hours)")
@@ -39,6 +45,7 @@ func main() {
 	loss := flag.Float64("loss", 0, "report loss probability (djc only; enables the §6 lossy mode)")
 	heartbeat := flag.Int("heartbeat", 0, "heartbeat interval in steps under -loss (0 = none)")
 	prob := flag.Float64("prob", 0, "probabilistic-reporting steepness (djc only; 0 = deterministic)")
+	parallel := flag.Int("parallel", 0, "worker pool width for -scheme all (0 = GOMAXPROCS, 1 = sequential)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run (empty = off)")
 	traceOut := flag.String("trace-out", "", "write protocol event JSONL (report/suppress decisions, epochs) to this file")
 	var logFlags obs.LogFlags
@@ -54,7 +61,9 @@ func main() {
 		slog.Error("observability setup failed", "err", err)
 		os.Exit(1)
 	}
-	if err := run(*dataset, *scheme, *k, *seed, *train, *test, *base, *eps, *loss, *heartbeat, *prob, ob); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *dataset, *scheme, *k, *seed, *train, *test, *base, *eps, *loss, *heartbeat, *prob, *parallel, ob); err != nil {
 		slog.Error("run failed", "err", err)
 		cleanup()
 		os.Exit(1)
@@ -94,7 +103,32 @@ func setupObs(addr, traceOut string) (*obs.Observer, func(), error) {
 	return ob, cleanup, nil
 }
 
-func run(dataset, scheme string, k int, seed int64, trainN, testN int, baseMult, epsOverride, loss float64, heartbeat int, prob float64, ob *obs.Observer) error {
+// specFor assembles the SchemeSpec that resolves name through the core
+// registry. "djc" (the flag default) becomes "djc<k>".
+func specFor(name string, k int, train [][]float64, eps []float64, seed int64, top *network.Topology, loss float64, heartbeat int, prob float64, ob *obs.Observer) core.SchemeSpec {
+	if name == "djc" {
+		name = fmt.Sprintf("djc%d", k)
+	}
+	spec := core.SchemeSpec{
+		Scheme:   name,
+		Eps:      eps,
+		Train:    train,
+		FitCfg:   model.FitConfig{Period: 24},
+		MC:       mc.Config{Seed: seed},
+		Metric:   cliques.MetricReduction,
+		Topology: top,
+		Obs:      ob,
+	}
+	if prob > 0 {
+		spec.Prob = &core.ProbConfig{Steepness: prob, Seed: seed}
+	}
+	if loss > 0 {
+		spec.Lossy = &core.LossyConfig{LossRate: loss, HeartbeatEvery: heartbeat, Seed: seed}
+	}
+	return spec
+}
+
+func run(ctx context.Context, dataset, scheme string, k int, seed int64, trainN, testN int, baseMult, epsOverride, loss float64, heartbeat int, prob float64, parallel int, ob *obs.Observer) error {
 	var (
 		tr  *trace.Trace
 		err error
@@ -133,27 +167,19 @@ func run(dataset, scheme string, k int, seed int64, trainN, testN int, baseMult,
 	}
 
 	if scheme == "all" {
-		return compareAll(tr, train, test, eps, k, seed, top)
+		return compareAll(ctx, train, test, eps, k, seed, top, parallel)
 	}
 
-	var s core.Scheme
-	switch scheme {
-	case "tinydb":
-		s, err = core.NewTinyDB(n, top)
-	case "apc":
-		s, err = core.NewCache(eps, top)
-	case "avg":
-		s, err = core.NewAverage(train, eps, model.FitConfig{Period: 24}, top)
-	case "djc":
-		s, err = buildDjC(tr, train, eps, k, seed, top, loss, heartbeat, prob, ob)
-	default:
-		return fmt.Errorf("unknown scheme %q", scheme)
-	}
+	s, err := core.Build(specFor(scheme, k, train, eps, seed, top, loss, heartbeat, prob, ob))
 	if err != nil {
 		return err
 	}
+	// Schemes selected through Greedy-k expose their partition.
+	if p, ok := s.(interface{ Partition() *cliques.Partition }); ok {
+		fmt.Printf("partition    %s\n", p.Partition())
+	}
 
-	res, err := core.RunObserved(s, test, eps, ob)
+	res, err := core.Run(ctx, s, test, core.RunOptions{Eps: eps, Observer: ob})
 	if err != nil {
 		return err
 	}
@@ -174,116 +200,41 @@ func run(dataset, scheme string, k int, seed int64, trainN, testN int, baseMult,
 	return nil
 }
 
-// compareAll runs every scheme over the same test window and prints a
-// side-by-side table.
-func compareAll(tr *trace.Trace, train, test [][]float64, eps []float64, k int, seed int64, top *network.Topology) error {
-	n := len(eps)
-	type entry struct {
-		name  string
-		build func() (core.Scheme, error)
-	}
-	entries := []entry{
-		{"tinydb", func() (core.Scheme, error) { return core.NewTinyDB(n, top) }},
-		{"apc", func() (core.Scheme, error) { return core.NewCache(eps, top) }},
-		{"avg", func() (core.Scheme, error) {
-			return core.NewAverage(train, eps, model.FitConfig{Period: 24}, top)
-		}},
-	}
+// compareAll runs every scheme over the same test window on the engine's
+// worker pool and prints a side-by-side table (rows come back in scheme
+// order regardless of the pool width).
+func compareAll(ctx context.Context, train, test [][]float64, eps []float64, k int, seed int64, top *network.Topology, parallel int) error {
+	names := []string{"tinydb", "apc", "avg"}
 	for kk := 1; kk <= k; kk++ {
-		kk := kk
-		entries = append(entries, entry{fmt.Sprintf("djc%d", kk), func() (core.Scheme, error) {
-			return buildDjCQuiet(tr, train, eps, kk, seed, top)
-		}})
+		names = append(names, fmt.Sprintf("djc%d", kk))
+	}
+	eng := engine.New(engine.Options{Workers: parallel})
+	lines, err := engine.Map(ctx, eng, names, func(ctx context.Context, _ int, name string) (string, error) {
+		s, err := core.Build(specFor(name, k, train, eps, seed, top, 0, 0, 0, nil))
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", name, err)
+		}
+		res, err := core.Run(ctx, s, test, core.RunOptions{Eps: eps})
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", name, err)
+		}
+		line := fmt.Sprintf("%-8s %9.1f%% %10.4f %12d", name,
+			100*res.FractionReported(), res.MaxAbsError, res.BoundViolations)
+		if top != nil {
+			line += fmt.Sprintf(" %12.2f", res.TotalCost()/float64(res.Steps))
+		}
+		return line, nil
+	})
+	if err != nil {
+		return err
 	}
 	fmt.Printf("%-8s %10s %10s %12s", "scheme", "reported", "max |err|", "violations")
 	if top != nil {
 		fmt.Printf(" %12s", "cost/step")
 	}
 	fmt.Println()
-	for _, e := range entries {
-		s, err := e.build()
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
-		}
-		res, err := core.Run(s, test, eps)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
-		}
-		fmt.Printf("%-8s %9.1f%% %10.4f %12d", e.name,
-			100*res.FractionReported(), res.MaxAbsError, res.BoundViolations)
-		if top != nil {
-			fmt.Printf(" %12.2f", res.TotalCost()/float64(res.Steps))
-		}
-		fmt.Println()
+	for _, line := range lines {
+		fmt.Println(line)
 	}
 	return nil
-}
-
-// buildDjCQuiet is buildDjC without the partition print (compare mode).
-func buildDjCQuiet(tr *trace.Trace, train [][]float64, eps []float64, k int, seed int64, top *network.Topology) (core.Scheme, error) {
-	eval, err := cliques.NewMCEvaluator(train, eps, model.FitConfig{Period: 24},
-		mc.Config{Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	selTop := top
-	if selTop == nil {
-		selTop, err = network.Uniform(tr.Deployment.N(), 1, 5)
-		if err != nil {
-			return nil, err
-		}
-	}
-	p, err := cliques.Greedy(selTop, eval, cliques.GreedyConfig{K: k, Metric: cliques.MetricReduction})
-	if err != nil {
-		return nil, err
-	}
-	return core.NewKen(core.KenConfig{
-		Name:      fmt.Sprintf("DjC%d", k),
-		Partition: p,
-		Train:     train,
-		Eps:       eps,
-		FitCfg:    model.FitConfig{Period: 24},
-		Topology:  top,
-	})
-}
-
-// buildDjC selects a Greedy-k partition and wires the Ken scheme,
-// optionally wrapped with loss injection or probabilistic reporting.
-func buildDjC(tr *trace.Trace, train [][]float64, eps []float64, k int, seed int64, top *network.Topology, loss float64, heartbeat int, prob float64, ob *obs.Observer) (core.Scheme, error) {
-	eval, err := cliques.NewMCEvaluator(train, eps, model.FitConfig{Period: 24},
-		mc.Config{Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	selTop := top
-	if selTop == nil {
-		// Partition selection needs some topology; use the uniform ×5 the
-		// paper's cost study centres on.
-		selTop, err = network.Uniform(tr.Deployment.N(), 1, 5)
-		if err != nil {
-			return nil, err
-		}
-	}
-	p, err := cliques.Greedy(selTop, eval, cliques.GreedyConfig{K: k, Metric: cliques.MetricReduction})
-	if err != nil {
-		return nil, err
-	}
-	fmt.Printf("partition    %s\n", p)
-	cfg := core.KenConfig{
-		Partition: p,
-		Train:     train,
-		Eps:       eps,
-		FitCfg:    model.FitConfig{Period: 24},
-		Topology:  top,
-		Obs:       ob,
-	}
-	if prob > 0 {
-		cfg.Prob = &core.ProbConfig{Steepness: prob, Seed: seed}
-	}
-	if loss > 0 {
-		return core.NewLossyKen(cfg, core.LossyConfig{
-			LossRate: loss, HeartbeatEvery: heartbeat, Seed: seed,
-		})
-	}
-	return core.NewKen(cfg)
 }

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -100,7 +101,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Run(ken, test, eps)
+	res, err := core.Run(context.Background(), ken, test, core.RunOptions{Eps: eps})
 	if err != nil {
 		return err
 	}

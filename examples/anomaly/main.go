@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -73,7 +74,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Run(ken, test, eps)
+	res, err := core.Run(context.Background(), ken, test, core.RunOptions{Eps: eps})
 	if err != nil {
 		return err
 	}

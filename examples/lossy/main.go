@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -75,7 +76,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := core.Run(s, test, eps)
+		res, err := core.Run(context.Background(), s, test, core.RunOptions{Eps: eps})
 		if err != nil {
 			return err
 		}

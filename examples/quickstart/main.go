@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -74,7 +75,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Run(ken, test, eps)
+	res, err := core.Run(context.Background(), ken, test, core.RunOptions{Eps: eps})
 	if err != nil {
 		return err
 	}

@@ -8,22 +8,54 @@
 //	Fig 13    — total messaging cost on Lab east/central/west regions
 //	Fig 14    — multi-attribute compression on a single node
 //
-// Each runner returns a Table whose rows are the series the paper plots;
-// cmd/kenbench prints them, and bench_test.go wraps them as testing.B
-// benchmarks.
+// Each runner decomposes its figure into independent cells — one table row
+// or row group per cell — and submits them to an engine.Engine, which runs
+// them across a worker pool and deduplicates shared artifacts (generated
+// traces, Monte Carlo evaluators, clique partitions) through its
+// single-flight cache. Results come back in row order, so a parallel run is
+// byte-identical to a sequential one (golden_test.go enforces this).
+// cmd/kenbench prints the tables, and bench_test.go wraps the runners as
+// testing.B benchmarks.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"ken/internal/cliques"
 	"ken/internal/core"
+	"ken/internal/engine"
 	"ken/internal/mc"
 	"ken/internal/model"
+	"ken/internal/network"
 	"ken/internal/trace"
 )
+
+// Runner regenerates one figure. A nil engine runs the cells sequentially
+// with a private artifact cache; ctx cancels mid-figure.
+type Runner func(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error)
+
+// ensureEngine gives figure runners a non-nil engine: callers that do not
+// care about parallelism (unit tests, one-shot invocations) pass nil and get
+// a sequential engine whose cache still deduplicates artifacts within the
+// figure.
+func ensureEngine(eng *engine.Engine) *engine.Engine {
+	if eng == nil {
+		return engine.New(engine.Options{Workers: 1})
+	}
+	return eng
+}
+
+// cacheGet fetches a shared artifact through the engine cache, building it
+// on first use. A nil engine builds directly (no caching).
+func cacheGet[T any](eng *engine.Engine, key string, build func() (T, error)) (T, error) {
+	if eng == nil {
+		return build()
+	}
+	return engine.Get(eng.Cache(), key, build)
+}
 
 // Config sizes an experiment. The zero value is filled with paper-like
 // defaults by withDefaults; Quick returns a configuration small enough for
@@ -171,57 +203,103 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// dataset bundles everything an experiment needs from one deployment.
+// dataset bundles everything an experiment needs from one deployment. key
+// identifies the (deployment, seed, split) in engine cache keys; cells must
+// treat every field as immutable — datasets are shared across workers.
 type dataset struct {
 	name        string
+	key         string
 	dep         *trace.Deployment
 	train, test [][]float64 // temperature matrices
 	eps         []float64
 	full        *trace.Trace
 }
 
-// loadDataset generates a deployment trace and splits it.
-func loadDataset(name string, cfg Config) (*dataset, error) {
-	var (
-		tr  *trace.Trace
-		err error
-	)
-	steps := cfg.TrainSteps + cfg.TestSteps
-	switch name {
-	case "garden":
-		tr, err = trace.GenerateGarden(cfg.Seed, steps)
-	case "lab":
-		tr, err = trace.GenerateLab(cfg.Seed, steps)
-	default:
-		return nil, fmt.Errorf("bench: unknown dataset %q", name)
-	}
-	if err != nil {
-		return nil, err
-	}
-	rows, err := tr.Rows(trace.Temperature)
-	if err != nil {
-		return nil, err
-	}
-	n := tr.Deployment.N()
-	eps := make([]float64, n)
-	for i := range eps {
-		eps[i] = trace.Temperature.DefaultEpsilon()
-	}
-	return &dataset{
-		name:  name,
-		dep:   tr.Deployment,
-		train: rows[:cfg.TrainSteps],
-		test:  rows[cfg.TrainSteps:],
-		eps:   eps,
-		full:  tr,
-	}, nil
+// cachedTrace returns the shared generated trace for a named deployment,
+// producing it once per (name, seed, steps) no matter how many cells ask.
+func cachedTrace(eng *engine.Engine, name string, seed int64, steps int) (*trace.Trace, error) {
+	key := fmt.Sprintf("trace:%s:seed=%d:steps=%d", name, seed, steps)
+	return cacheGet(eng, key, func() (*trace.Trace, error) {
+		switch name {
+		case "garden":
+			return trace.GenerateGarden(seed, steps)
+		case "lab":
+			return trace.GenerateLab(seed, steps)
+		default:
+			return nil, fmt.Errorf("bench: unknown dataset %q", name)
+		}
+	})
 }
 
-// evaluator builds the cached Monte Carlo m_C estimator for a dataset.
-func (d *dataset) evaluator(cfg Config) (*cliques.MCEvaluator, error) {
-	return cliques.NewMCEvaluator(d.train, d.eps,
-		model.FitConfig{Period: 24},
-		mc.Config{Trajectories: cfg.MCTrajectories, Horizon: cfg.MCHorizon, Seed: cfg.Seed})
+// cachedGenerate returns the shared trace for a custom generator
+// configuration (rate sweeps, drift splices). label names the deployment;
+// the full GenConfig is folded into the key, so distinct settings never
+// collide.
+func cachedGenerate(eng *engine.Engine, label string, dep *trace.Deployment, gc trace.GenConfig) (*trace.Trace, error) {
+	key := fmt.Sprintf("trace:%s:cfg=%+v", label, gc)
+	return cacheGet(eng, key, func() (*trace.Trace, error) {
+		return trace.Generate(dep, gc)
+	})
+}
+
+// loadDataset generates (or fetches) a deployment trace and splits it. The
+// returned dataset is shared across cells and must not be mutated.
+func loadDataset(eng *engine.Engine, name string, cfg Config) (*dataset, error) {
+	key := fmt.Sprintf("ds:%s:seed=%d:train=%d:test=%d", name, cfg.Seed, cfg.TrainSteps, cfg.TestSteps)
+	return cacheGet(eng, key, func() (*dataset, error) {
+		tr, err := cachedTrace(eng, name, cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := tr.Rows(trace.Temperature)
+		if err != nil {
+			return nil, err
+		}
+		n := tr.Deployment.N()
+		eps := make([]float64, n)
+		for i := range eps {
+			eps[i] = trace.Temperature.DefaultEpsilon()
+		}
+		return &dataset{
+			name:  name,
+			key:   key,
+			dep:   tr.Deployment,
+			train: rows[:cfg.TrainSteps],
+			test:  rows[cfg.TrainSteps:],
+			eps:   eps,
+			full:  tr,
+		}, nil
+	})
+}
+
+// evaluator returns the shared Monte Carlo m_C estimator for the dataset
+// plus its cache key (for composing dependent keys, e.g. partitions). The
+// evaluator is internally synchronised and its estimates are deterministic
+// per clique, so sharing it across cells cannot change any result.
+func (d *dataset) evaluator(eng *engine.Engine, cfg Config) (*cliques.MCEvaluator, string, error) {
+	mcCfg := mc.Config{Trajectories: cfg.MCTrajectories, Horizon: cfg.MCHorizon, Seed: cfg.Seed}
+	key := fmt.Sprintf("eval:%s:train=%s:mc=%+v", d.key, engine.KeyMatrix(d.train), mcCfg)
+	eval, err := cacheGet(eng, key, func() (*cliques.MCEvaluator, error) {
+		return cliques.NewMCEvaluator(d.train, d.eps, model.FitConfig{Period: 24}, mcCfg)
+	})
+	return eval, key, err
+}
+
+// cachedGreedy returns the shared Greedy-k partition for (evaluator,
+// topology, config), validated against n nodes. topoKey must identify how
+// the topology was constructed.
+func cachedGreedy(eng *engine.Engine, eval *cliques.MCEvaluator, evalKey string, top *network.Topology, topoKey string, gcfg cliques.GreedyConfig, n int) (*cliques.Partition, error) {
+	key := fmt.Sprintf("part:greedy:%s:%s:cfg=%+v", evalKey, topoKey, gcfg)
+	return cacheGet(eng, key, func() (*cliques.Partition, error) {
+		p, err := cliques.Greedy(top, eval, gcfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: greedy k=%d: %w", gcfg.K, err)
+		}
+		if err := p.Validate(n); err != nil {
+			return nil, err
+		}
+		return p, nil
+	})
 }
 
 // subset restricts the dataset to the given node indices.
@@ -243,6 +321,7 @@ func (d *dataset) subset(nodes []int) *dataset {
 	}
 	return &dataset{
 		name:  d.name,
+		key:   fmt.Sprintf("%s:sub=%v", d.key, nodes),
 		dep:   d.dep,
 		train: pick(d.train),
 		test:  pick(d.test),
@@ -253,12 +332,8 @@ func (d *dataset) subset(nodes []int) *dataset {
 
 // replay runs a scheme over the dataset's test rows, enforcing that
 // deterministic schemes keep the ε guarantee.
-func (d *dataset) replay(s core.Scheme) (*core.Result, error) {
-	res, err := core.Run(s, d.test, d.eps)
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+func (d *dataset) replay(ctx context.Context, s core.Scheme) (*core.Result, error) {
+	return core.Run(ctx, s, d.test, core.RunOptions{Eps: d.eps})
 }
 
 func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -54,14 +55,14 @@ func TestTableWriteTo(t *testing.T) {
 }
 
 func TestLoadDatasetUnknown(t *testing.T) {
-	if _, err := loadDataset("nope", Quick()); err == nil {
+	if _, err := loadDataset(nil, "nope", Quick()); err == nil {
 		t.Fatal("expected error for unknown dataset")
 	}
 }
 
 func TestFig7And8Overviews(t *testing.T) {
-	for _, fn := range []func(Config) (*Table, error){Fig7, Fig8} {
-		tb, err := fn(Quick())
+	for _, fn := range []Runner{Fig7, Fig8} {
+		tb, err := fn(context.Background(), nil, Quick())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func TestFig7And8Overviews(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	tb, err := Fig9(Quick())
+	tb, err := Fig9(context.Background(), nil, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	tb, err := Fig10(Quick())
+	tb, err := Fig10(context.Background(), nil, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestFig10Shape(t *testing.T) {
 		t.Fatalf("lab DjC5 (%v) not better than DjC1 (%v)", djc5, djc1)
 	}
 	// Lab is harder than garden: compare DjC5 levels.
-	g, err := Fig9(Quick())
+	g, err := Fig9(context.Background(), nil, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig11GreedyNearOptimal(t *testing.T) {
-	tb, err := Fig11(Quick())
+	tb, err := Fig11(context.Background(), nil, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestFig11GreedyNearOptimal(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
-	tb, err := Fig12(Quick())
+	tb, err := Fig12(context.Background(), nil, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig13Shape(t *testing.T) {
-	tb, err := Fig13(Quick())
+	tb, err := Fig13(context.Background(), nil, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestFig13Shape(t *testing.T) {
 }
 
 func TestFig14Shape(t *testing.T) {
-	tb, err := Fig14(Quick())
+	tb, err := Fig14(context.Background(), nil, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestFig14Shape(t *testing.T) {
 }
 
 func TestExtensionsTable(t *testing.T) {
-	tb, err := Extensions(Quick())
+	tb, err := Extensions(context.Background(), nil, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestTableWriteMarkdown(t *testing.T) {
 }
 
 func TestExtensionsJointMultiAttr(t *testing.T) {
-	tb, err := Extensions(Quick())
+	tb, err := Extensions(context.Background(), nil, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestExtensionsJointMultiAttr(t *testing.T) {
 }
 
 func TestSweepsShape(t *testing.T) {
-	tb, err := Sweeps(Quick())
+	tb, err := Sweeps(context.Background(), nil, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}

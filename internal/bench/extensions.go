@@ -2,11 +2,13 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 
 	"ken/internal/cliques"
 	"ken/internal/core"
+	"ken/internal/engine"
 	"ken/internal/mc"
 	"ken/internal/model"
 	"ken/internal/network"
@@ -18,30 +20,40 @@ import (
 // Extensions regenerates the beyond-the-paper results recorded in
 // EXPERIMENTS.md: the §6 switching model on HVAC-affected lab data, the
 // footnote-4 adaptive refitting under seasonal drift, distributed network
-// lifetime on the packet simulator, and the streaming wire efficiency.
-func Extensions(cfg Config) (*Table, error) {
+// lifetime on the packet simulator, and the streaming wire efficiency. Each
+// experiment is one engine cell producing its own row group; the generated
+// traces they share come from the engine cache.
+func Extensions(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	eng = ensureEngine(eng)
 	t := &Table{
 		Title:   "Extensions: §6 and footnote-4 features, system-level results",
 		Columns: []string{"experiment", "variant", "metric", "value"},
 	}
-	if err := extSwitching(t, cfg); err != nil {
+	type experiment struct {
+		name string
+		fn   func(ctx context.Context, eng *engine.Engine, cfg Config) ([][]string, error)
+	}
+	exps := []experiment{
+		{"switching", extSwitching},
+		{"adaptive", extAdaptive},
+		{"probabilistic", extProbabilistic},
+		{"lifetime", extLifetime},
+		{"streaming", extStreaming},
+		{"joint-multiattr", extJointMultiAttr},
+	}
+	chunks, err := engine.Map(ctx, eng, exps, func(ctx context.Context, _ int, e experiment) ([][]string, error) {
+		rows, err := e.fn(ctx, eng, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: extension %s: %w", e.name, err)
+		}
+		return rows, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := extAdaptive(t, cfg); err != nil {
-		return nil, err
-	}
-	if err := extProbabilistic(t, cfg); err != nil {
-		return nil, err
-	}
-	if err := extLifetime(t, cfg); err != nil {
-		return nil, err
-	}
-	if err := extStreaming(t, cfg); err != nil {
-		return nil, err
-	}
-	if err := extJointMultiAttr(t, cfg); err != nil {
-		return nil, err
+	for _, rows := range chunks {
+		t.Rows = append(t.Rows, rows...)
 	}
 	t.Notes = append(t.Notes,
 		"switching/adaptive: fraction of values reported (lower is better)",
@@ -52,14 +64,14 @@ func Extensions(cfg Config) (*Table, error) {
 
 // extSwitching compares the plain Gaussian and the regime-switching model
 // on a lab clique inside one HVAC zone.
-func extSwitching(t *Table, cfg Config) error {
-	tr, err := trace.GenerateLab(cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
+func extSwitching(ctx context.Context, eng *engine.Engine, cfg Config) ([][]string, error) {
+	tr, err := cachedTrace(eng, "lab", cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rows, err := tr.Rows(trace.Temperature)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Nodes 0,1,7 share the west HVAC zone and sit close together.
 	members := []int{0, 1, 7}
@@ -76,22 +88,24 @@ func extSwitching(t *Table, cfg Config) error {
 
 	plain, err := model.FitLinearGaussian(train, model.FitConfig{Period: 24})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sw, err := model.FitSwitching(train, model.SwitchingConfig{Regimes: 2, Base: model.FitConfig{Period: 24}})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pf, err := replayFraction(plain.Clone(), test, eps)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sf, err := replayFraction(sw.Clone(), test, eps)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t.AddRow("switching model (lab HVAC clique)", "plain Gaussian", "reported", pct(pf))
-	t.AddRow("switching model (lab HVAC clique)", "2-regime switching", "reported", pct(sf))
+	out := [][]string{
+		{"switching model (lab HVAC clique)", "plain Gaussian", "reported", pct(pf)},
+		{"switching model (lab HVAC clique)", "2-regime switching", "reported", pct(sf)},
+	}
 
 	// Crisp two-level data (instant regime shifts, no diurnal smoothing):
 	// the scenario where the model class decisively matters.
@@ -100,23 +114,24 @@ func extSwitching(t *Table, cfg Config) error {
 	ceps := []float64{0.5, 0.5}
 	cplain, err := model.FitLinearGaussian(ctrain, model.FitConfig{})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	csw, err := model.FitSwitching(ctrain, model.SwitchingConfig{Regimes: 2})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cpf, err := replayFraction(cplain.Clone(), ctest, ceps)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	csf, err := replayFraction(csw.Clone(), ctest, ceps)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t.AddRow("switching model (crisp 2-level data)", "plain Gaussian", "reported", pct(cpf))
-	t.AddRow("switching model (crisp 2-level data)", "2-regime switching", "reported", pct(csf))
-	return nil
+	out = append(out,
+		[]string{"switching model (crisp 2-level data)", "plain Gaussian", "reported", pct(cpf)},
+		[]string{"switching model (crisp 2-level data)", "2-regime switching", "reported", pct(csf)})
+	return out, nil
 }
 
 // regimeRows synthesises instantly-switching two-level data (the switching
@@ -147,28 +162,28 @@ func regimeRows(seed int64, steps int) [][]float64 {
 // Online refitting needs room to relearn (windows of days, multiple
 // refits after the shift), so this experiment enforces its own minimum
 // horizon regardless of the quick configuration.
-func extAdaptive(t *Table, cfg Config) error {
+func extAdaptive(ctx context.Context, eng *engine.Engine, cfg Config) ([][]string, error) {
 	testSteps := cfg.TestSteps
 	if testSteps < 1200 {
 		testSteps = 1200
 	}
-	a, err := trace.GenerateGarden(cfg.Seed, cfg.TrainSteps+testSteps/2)
+	a, err := cachedTrace(eng, "garden", cfg.Seed, cfg.TrainSteps+testSteps/2)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	warmCfg := trace.GardenConfig(cfg.Seed+1, testSteps-testSteps/2)
 	warmCfg.TempBase += 2.5 // the drift: a warmer second half
-	warm, err := trace.Generate(trace.GardenDeployment(), warmCfg)
+	warm, err := cachedGenerate(eng, "garden", trace.GardenDeployment(), warmCfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ra, err := a.Rows(trace.Temperature)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rb, err := warm.Rows(trace.Temperature)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pick := func(rows [][]float64) [][]float64 {
 		out := make([][]float64, len(rows))
@@ -183,24 +198,25 @@ func extAdaptive(t *Table, cfg Config) error {
 
 	lg, err := model.FitLinearGaussian(train, model.FitConfig{Period: 24})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sf, err := replayFraction(lg.Clone(), test, eps)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ad, err := model.NewAdaptive(lg, model.AdaptiveConfig{
 		RefitEvery: 96, Window: 240, Fit: model.FitConfig{Period: 24}})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	af, err := replayFraction(ad.Clone(), test, eps)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t.AddRow("adaptive refit (garden, +2.5°C shift)", "static", "reported", pct(sf))
-	t.AddRow("adaptive refit (garden, +2.5°C shift)", "adaptive", "reported", pct(af))
-	return nil
+	return [][]string{
+		{"adaptive refit (garden, +2.5°C shift)", "static", "reported", pct(sf)},
+		{"adaptive refit (garden, +2.5°C shift)", "adaptive", "reported", pct(af)},
+	}, nil
 }
 
 // replayFraction runs the Ken source loop and returns the reported
@@ -224,59 +240,56 @@ func replayFraction(m model.Model, rows [][]float64, eps []float64) (float64, er
 // extProbabilistic sweeps the §6 relaxed reporting function: lower
 // steepness trades more ε violations for fewer reports; high steepness
 // approaches the deterministic guarantee.
-func extProbabilistic(t *Table, cfg Config) error {
-	d, err := loadDataset("garden", cfg)
+func extProbabilistic(ctx context.Context, eng *engine.Engine, cfg Config) ([][]string, error) {
+	d, err := loadDataset(eng, "garden", cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	part := &cliques.Partition{}
-	n := d.dep.N()
-	for i := 0; i < n; i += 2 {
-		if i+1 < n {
-			part.Cliques = append(part.Cliques, cliques.Clique{Members: []int{i, i + 1}, Root: i})
-		} else {
-			part.Cliques = append(part.Cliques, cliques.Clique{Members: []int{i}, Root: i})
-		}
-	}
+	part := pairPart(d.dep.N())
+	var out [][]string
 	run := func(prob *core.ProbConfig, label string) error {
-		s, err := core.NewKen(core.KenConfig{
-			Partition: part, Train: d.train, Eps: d.eps,
-			FitCfg: model.FitConfig{Period: 24},
-			Prob:   prob,
+		s, err := core.Build(core.SchemeSpec{
+			Scheme:    "Ken",
+			Name:      "DjC2",
+			Partition: part,
+			Train:     d.train,
+			Eps:       d.eps,
+			FitCfg:    model.FitConfig{Period: 24},
+			Prob:      prob,
 		})
 		if err != nil {
 			return err
 		}
-		res, err := core.Run(s, d.test, d.eps)
+		res, err := core.Run(ctx, s, d.test, core.RunOptions{Eps: d.eps})
 		if err != nil {
 			return err
 		}
-		t.AddRow("probabilistic reporting (garden)", label, "reported / violations",
+		out = append(out, []string{"probabilistic reporting (garden)", label, "reported / violations",
 			fmt.Sprintf("%s / %.2f%%", pct(res.FractionReported()),
-				100*float64(res.BoundViolations)/float64(res.Steps*res.Dim)))
+				100*float64(res.BoundViolations)/float64(res.Steps*res.Dim))})
 		return nil
 	}
 	if err := run(nil, "deterministic"); err != nil {
-		return err
+		return nil, err
 	}
 	for _, steep := range []float64{5, 2, 1} {
 		if err := run(&core.ProbConfig{Steepness: steep, Seed: cfg.Seed},
 			fmt.Sprintf("steepness %.0f", steep)); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return out, nil
 }
 
 // extLifetime runs the distributed programs on the packet simulator.
-func extLifetime(t *Table, cfg Config) error {
-	tr, err := trace.GenerateGarden(cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
+func extLifetime(ctx context.Context, eng *engine.Engine, cfg Config) ([][]string, error) {
+	tr, err := cachedTrace(eng, "garden", cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rows, err := tr.Rows(trace.Temperature)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	n := tr.Deployment.N()
 	train, test := rows[:cfg.TrainSteps], rows[cfg.TrainSteps:]
@@ -290,7 +303,7 @@ func extLifetime(t *Table, cfg Config) error {
 	}
 	top, err := network.New(n, links)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	radio := simnet.DefaultRadio()
 	// Size the battery so TinyDB's hotspot dies about a third into the
@@ -305,10 +318,11 @@ func extLifetime(t *Table, cfg Config) error {
 			part.Cliques = append(part.Cliques, cliques.Clique{Members: []int{i}, Root: i})
 		}
 	}
+	var out [][]string
 	for _, name := range []string{"tinydb", "ken"} {
 		net, err := simnet.New(top, radio, cfg.Seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		var prog simnet.Program
 		if name == "tinydb" {
@@ -317,30 +331,30 @@ func extLifetime(t *Table, cfg Config) error {
 			prog, err = simnet.NewDistributedKen(net, part, train, eps, model.FitConfig{Period: 24})
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 		death, epochs, err := simnet.RunLifetime(net, prog, test)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		val := fmt.Sprintf("%d", death)
 		if death < 0 {
 			val = fmt.Sprintf(">%d", epochs)
 		}
-		t.AddRow("network lifetime (11-node chain)", name, "first death epoch", val)
+		out = append(out, []string{"network lifetime (11-node chain)", name, "first death epoch", val})
 	}
-	return nil
+	return out, nil
 }
 
 // extStreaming measures wire bytes through the source→sink pipeline.
-func extStreaming(t *Table, cfg Config) error {
-	tr, err := trace.GenerateGarden(cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
+func extStreaming(ctx context.Context, eng *engine.Engine, cfg Config) ([][]string, error) {
+	tr, err := cachedTrace(eng, "garden", cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rows, err := tr.Rows(trace.Temperature)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	n := tr.Deployment.N()
 	train, test := rows[:cfg.TrainSteps], rows[cfg.TrainSteps:]
@@ -348,44 +362,37 @@ func extStreaming(t *Table, cfg Config) error {
 	for i := range eps {
 		eps[i] = 0.5
 	}
-	part := &cliques.Partition{}
-	for i := 0; i < n; i += 2 {
-		if i+1 < n {
-			part.Cliques = append(part.Cliques, cliques.Clique{Members: []int{i, i + 1}, Root: i})
-		} else {
-			part.Cliques = append(part.Cliques, cliques.Clique{Members: []int{i}, Root: i})
-		}
-	}
 	scfg := stream.Config{
-		Partition: part, Train: train, Eps: eps,
+		Partition: pairPart(n), Train: train, Eps: eps,
 		FitCfg: model.FitConfig{Period: 24},
 	}
 	src, err := stream.NewSource(scfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sink, err := stream.NewReplica(scfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var buf bytes.Buffer
 	for _, row := range test {
 		f, err := src.Collect(row)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := stream.WriteFrame(&buf, f, src.Resolution()); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	wireBytes := buf.Len() // record before Serve drains the buffer
 	if err := sink.Serve(&buf); err != nil {
-		return err
+		return nil, err
 	}
 	naive := len(test) * n * 10
-	t.AddRow("streaming wire bytes (garden)", "ken frames", "bytes", fmt.Sprintf("%d", wireBytes))
-	t.AddRow("streaming wire bytes (garden)", "naive 10 B/reading", "bytes", fmt.Sprintf("%d", naive))
-	return nil
+	return [][]string{
+		{"streaming wire bytes (garden)", "ken frames", "bytes", fmt.Sprintf("%d", wireBytes)},
+		{"streaming wire bytes (garden)", "naive 10 B/reading", "bytes", fmt.Sprintf("%d", naive)},
+	}, nil
 }
 
 // extJointMultiAttr runs the full SELECT * over all three attributes of
@@ -394,10 +401,10 @@ func extStreaming(t *Table, cfg Config) error {
 // build cliques that mix attributes on one node (zero intra cost, §5.5)
 // with spatial neighbours. Compared against running the three attributes
 // as independent Ken instances.
-func extJointMultiAttr(t *Table, cfg Config) error {
-	tr, err := trace.GenerateGarden(cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
+func extJointMultiAttr(ctx context.Context, eng *engine.Engine, cfg Config) ([][]string, error) {
+	tr, err := cachedTrace(eng, "garden", cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	n := tr.Deployment.N()
 	attrs := []trace.Attribute{trace.Temperature, trace.Humidity, trace.Voltage}
@@ -408,7 +415,7 @@ func extJointMultiAttr(t *Table, cfg Config) error {
 	for a, attr := range attrs {
 		rows, err := tr.Rows(attr)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		byAttr[a] = rows
 	}
@@ -446,34 +453,24 @@ func extJointMultiAttr(t *Table, cfg Config) error {
 			}
 			cols[s] = r
 		}
-		phys, err := uniformTopology(n, 5)
-		if err != nil {
-			return err
-		}
-		eval, err := cliques.NewMCEvaluator(cols[:cfg.TrainSteps], e,
-			model.FitConfig{Period: 24},
-			mcConfigFor(cfg))
-		if err != nil {
-			return err
-		}
-		p, err := cliques.Greedy(phys, eval, cliques.GreedyConfig{
-			K: 2, NeighborLimit: cfg.NeighborLimit, Metric: cliques.MetricReduction})
-		if err != nil {
-			return err
-		}
-		s, err := core.NewKen(core.KenConfig{
-			Partition: p, Train: cols[:cfg.TrainSteps], Eps: e,
-			FitCfg: model.FitConfig{Period: 24},
+		s, err := core.Build(core.SchemeSpec{
+			Scheme:        "DjC2",
+			Train:         cols[:cfg.TrainSteps],
+			Eps:           e,
+			FitCfg:        model.FitConfig{Period: 24},
+			NeighborLimit: cfg.NeighborLimit,
+			MC:            mcConfigFor(cfg),
+			Metric:        cliques.MetricReduction,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		res, err := core.Run(s, cols[cfg.TrainSteps:], e)
+		res, err := core.Run(ctx, s, cols[cfg.TrainSteps:], core.RunOptions{Eps: e})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if res.BoundViolations != 0 {
-			return fmt.Errorf("bench: independent run violated ε")
+			return nil, fmt.Errorf("bench: independent run violated ε")
 		}
 		indepReported += res.ValuesReported
 		indepTotal += res.Steps * res.Dim
@@ -482,40 +479,45 @@ func extJointMultiAttr(t *Table, cfg Config) error {
 	// Joint collection over the logical topology.
 	phys, err := uniformTopology(n, 5)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	logical, err := network.Logical(phys, k, 0.01)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	eval, err := cliques.NewMCEvaluator(train, eps, model.FitConfig{Period: 24}, mcConfigFor(cfg))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	p, err := cliques.Greedy(logical, eval, cliques.GreedyConfig{
 		K: 4, NeighborLimit: cfg.NeighborLimit, Metric: cliques.MetricReduction})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	s, err := core.NewKen(core.KenConfig{
-		Partition: p, Train: train, Eps: eps,
-		FitCfg: model.FitConfig{Period: 24},
+	s, err := core.Build(core.SchemeSpec{
+		Scheme:    "Ken",
+		Name:      "DjC4",
+		Partition: p,
+		Train:     train,
+		Eps:       eps,
+		FitCfg:    model.FitConfig{Period: 24},
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	res, err := core.Run(s, test, eps)
+	res, err := core.Run(ctx, s, test, core.RunOptions{Eps: eps})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if res.BoundViolations != 0 {
-		return fmt.Errorf("bench: joint run violated ε")
+		return nil, fmt.Errorf("bench: joint run violated ε")
 	}
-	t.AddRow("joint multi-attribute (33 logical attrs)", "independent per-attr DjC2",
-		"reported", pct(float64(indepReported)/float64(indepTotal)))
-	t.AddRow("joint multi-attribute (33 logical attrs)", "joint logical DjC4",
-		"reported", pct(res.FractionReported()))
-	return nil
+	return [][]string{
+		{"joint multi-attribute (33 logical attrs)", "independent per-attr DjC2",
+			"reported", pct(float64(indepReported) / float64(indepTotal))},
+		{"joint multi-attribute (33 logical attrs)", "joint logical DjC4",
+			"reported", pct(res.FractionReported())},
+	}, nil
 }
 
 // mcConfigFor derives the shared Monte Carlo settings.

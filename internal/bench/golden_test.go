@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"ken/internal/engine"
+)
+
+// goldenRunners lists every figure the parallel engine must reproduce
+// byte-for-byte.
+var goldenRunners = []struct {
+	name string
+	fn   Runner
+}{
+	{"Fig7", Fig7},
+	{"Fig8", Fig8},
+	{"Fig9", Fig9},
+	{"Fig10", Fig10},
+	{"Fig11", Fig11},
+	{"Fig12", Fig12},
+	{"Fig13", Fig13},
+	{"Fig14", Fig14},
+	{"Extensions", Extensions},
+	{"Sweeps", Sweeps},
+}
+
+// render runs one figure on the given engine and returns its padded-text
+// rendering.
+func render(t *testing.T, fn Runner, eng *engine.Engine) []byte {
+	t.Helper()
+	tb, err := fn(context.Background(), eng, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelMatchesSequential is the engine's core guarantee: a Workers=8
+// run of every figure produces byte-identical tables to a Workers=1 run.
+// Each figure gets fresh engines so the comparison also covers cold-cache
+// artifact construction on both sides.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every figure twice")
+	}
+	for _, r := range goldenRunners {
+		r := r
+		t.Run(r.name, func(t *testing.T) {
+			t.Parallel()
+			seq := render(t, r.fn, engine.New(engine.Options{Workers: 1}))
+			par := render(t, r.fn, engine.New(engine.Options{Workers: 8}))
+			if !bytes.Equal(seq, par) {
+				t.Errorf("parallel output differs from sequential:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
+			}
+		})
+	}
+}
+
+// TestSharedEngineReusesArtifacts runs two figures that need the same
+// dataset on one engine and checks the cache deduplicated the underlying
+// trace (one "trace:garden:..." flight, not two).
+func TestSharedEngineReusesArtifacts(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 4})
+	if _, err := Fig8(context.Background(), eng, Quick()); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Cache().Len()
+	if before == 0 {
+		t.Fatal("Fig8 populated no cache entries")
+	}
+	// Fig9 uses the same garden dataset: the trace and dataset keys must
+	// hit, so the cache grows only by Fig9's evaluator/partition entries.
+	if _, err := Fig9(context.Background(), eng, Quick()); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Cache().Len()
+	if after == before {
+		t.Fatal("Fig9 added no cache entries (evaluator/partitions expected)")
+	}
+	// Rerunning Fig9 must add nothing: every artifact is already cached.
+	if _, err := Fig9(context.Background(), eng, Quick()); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Cache().Len() != after {
+		t.Fatalf("rerun grew the cache from %d to %d entries", after, eng.Cache().Len())
+	}
+}
+
+// TestFigureCancellation verifies a canceled context aborts a figure
+// instead of running it to completion.
+func TestFigureCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := engine.New(engine.Options{Workers: 4})
+	if _, err := Fig9(ctx, eng, Quick()); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}

@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"ken/internal/cliques"
 	"ken/internal/core"
+	"ken/internal/engine"
 	"ken/internal/model"
 	"ken/internal/trace"
 )
@@ -16,10 +18,10 @@ import (
 // attribute groupings {T,H,V} (all singletons), {V,TH}, {H,TV}, {T,HV},
 // plus no compression, on % data reported. We add the full clique {THV} as
 // a bonus row.
-func Fig14(cfg Config) (*Table, error) {
+func Fig14(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	steps := cfg.TrainSteps + cfg.TestSteps
-	tr, err := trace.GenerateGarden(cfg.Seed, steps)
+	eng = ensureEngine(eng)
+	tr, err := cachedTrace(eng, "garden", cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
 	if err != nil {
 		return nil, err
 	}
@@ -37,10 +39,11 @@ func Fig14(cfg Config) (*Table, error) {
 	}
 
 	// Attribute index mnemonics: 0 = T, 1 = H, 2 = V.
-	groupings := []struct {
+	type grouping struct {
 		name  string
 		parts [][]int
-	}{
+	}
+	groupings := []grouping{
 		{"{T,H,V} singletons", [][]int{{0}, {1}, {2}}},
 		{"{V, TH}", [][]int{{2}, {0, 1}}},
 		{"{H, TV}", [][]int{{1}, {0, 2}}},
@@ -54,14 +57,17 @@ func Fig14(cfg Config) (*Table, error) {
 	}
 	t.AddRow("no compression", pct(1), "-")
 
-	for _, g := range groupings {
+	// One cell per grouping: each builds its own Ken over the shared
+	// multi-attribute rows with a fixed partition.
+	rows, err := engine.Map(ctx, eng, groupings, func(ctx context.Context, _ int, g grouping) ([]string, error) {
 		p := &cliques.Partition{}
 		for _, members := range g.parts {
 			// All logical nodes live on the same physical node: root 0,
 			// intra cost structurally zero.
 			p.Cliques = append(p.Cliques, cliques.Clique{Members: members, Root: 0})
 		}
-		s, err := core.NewKen(core.KenConfig{
+		s, err := core.Build(core.SchemeSpec{
+			Scheme:    "Ken",
 			Name:      g.name,
 			Partition: p,
 			Train:     train,
@@ -71,15 +77,19 @@ func Fig14(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Run(s, test, eps)
+		res, err := core.Run(ctx, s, test, core.RunOptions{Eps: eps})
 		if err != nil {
 			return nil, err
 		}
 		if res.BoundViolations != 0 {
 			return nil, fmt.Errorf("bench: %s violated ε %d times", g.name, res.BoundViolations)
 		}
-		t.AddRow(g.name, pct(res.FractionReported()), fmt.Sprintf("%d", p.MaxCliqueSize()))
+		return []string{g.name, pct(res.FractionReported()), fmt.Sprintf("%d", p.MaxCliqueSize())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes,
 		"paper shape: any compression far exceeds none; inter-attribute cliques improve further",
 		"intra-source cost is structurally zero — all attributes share one physical node")

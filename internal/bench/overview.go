@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"ken/internal/engine"
 	"ken/internal/trace"
 )
 
@@ -11,18 +13,24 @@ import (
 // ranges of temperature and humidity across the deployment. (The paper's
 // figure is a raw time-series plot; kentrace dumps the same series as CSV —
 // this table summarises its shape.)
-func Fig7(cfg Config) (*Table, error) {
-	return overview("lab", cfg)
+func Fig7(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
+	return overview(ctx, eng, "lab", cfg)
 }
 
 // Fig8 reproduces the Garden data overview.
-func Fig8(cfg Config) (*Table, error) {
-	return overview("garden", cfg)
+func Fig8(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
+	return overview(ctx, eng, "garden", cfg)
 }
 
-func overview(name string, cfg Config) (*Table, error) {
+func overview(ctx context.Context, eng *engine.Engine, name string, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	d, err := loadDataset(name, cfg)
+	eng = ensureEngine(eng)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	d, err := loadDataset(eng, name, cfg)
 	if err != nil {
 		return nil, err
 	}

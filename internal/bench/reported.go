@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"ken/internal/cliques"
 	"ken/internal/core"
+	"ken/internal/engine"
 	"ken/internal/model"
 	"ken/internal/network"
 	"ken/internal/trace"
@@ -15,19 +17,20 @@ import (
 // dataset": TinyDB, Approximate Caching, the Average model, and Ken with
 // Disjoint-Cliques of maximum size 1–6. Accounting is topology-independent,
 // exactly as in the paper's §5.3.
-func Fig9(cfg Config) (*Table, error) {
-	return reportedFigure("garden", 6, "9", cfg)
+func Fig9(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
+	return reportedFigure(ctx, eng, "garden", 6, "9", cfg)
 }
 
 // Fig10 reproduces the same comparison for the lab dataset (clique sizes
 // 1–5).
-func Fig10(cfg Config) (*Table, error) {
-	return reportedFigure("lab", 5, "10", cfg)
+func Fig10(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
+	return reportedFigure(ctx, eng, "lab", 5, "10", cfg)
 }
 
-func reportedFigure(name string, kmax int, fig string, cfg Config) (*Table, error) {
+func reportedFigure(ctx context.Context, eng *engine.Engine, name string, kmax int, fig string, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	d, err := loadDataset(name, cfg)
+	eng = ensureEngine(eng)
+	d, err := loadDataset(eng, name, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -36,92 +39,87 @@ func reportedFigure(name string, kmax int, fig string, cfg Config) (*Table, erro
 		Columns: []string{"scheme", "reported", "max |err|", "violations"},
 	}
 
-	add := func(s core.Scheme) error {
-		res, err := d.replay(s)
-		if err != nil {
-			return fmt.Errorf("bench: %s on %s: %w", s.Name(), name, err)
-		}
-		t.AddRow(s.Name(), pct(res.FractionReported()), f2(res.MaxAbsError),
-			fmt.Sprintf("%d", res.BoundViolations))
-		return nil
-	}
-
-	tiny, err := core.NewTinyDB(d.dep.N(), nil)
-	if err != nil {
-		return nil, err
-	}
-	if err := add(tiny); err != nil {
-		return nil, err
-	}
-	apc, err := core.NewCache(d.eps, nil)
-	if err != nil {
-		return nil, err
-	}
-	if err := add(apc); err != nil {
-		return nil, err
-	}
-	avg, err := core.NewAverage(d.train, d.eps, model.FitConfig{Period: 24}, nil)
-	if err != nil {
-		return nil, err
-	}
-	if err := add(avg); err != nil {
-		return nil, err
-	}
-
-	parts, err := djcPartitions(d, cfg, kmax, cliques.MetricReduction)
-	if err != nil {
-		return nil, err
-	}
+	// One cell per table row: the baseline schemes followed by DjC1..kmax.
+	// Every DjC cell selects its own partition, but the Monte Carlo
+	// evaluator and geometric topology behind the selection come from the
+	// engine cache, so the expensive work happens once per dataset.
+	cells := []string{"TinyDB", "ApproxCache", "Average"}
 	for k := 1; k <= kmax; k++ {
-		s, err := core.NewKen(core.KenConfig{
-			Name:      fmt.Sprintf("DjC%d", k),
-			Partition: parts[k],
-			Train:     d.train,
-			Eps:       d.eps,
-			FitCfg:    model.FitConfig{Period: 24},
-		})
+		cells = append(cells, fmt.Sprintf("DjC%d", k))
+	}
+	rows, err := engine.Map(ctx, eng, cells, func(ctx context.Context, _ int, scheme string) ([]string, error) {
+		s, err := buildReportedScheme(eng, d, cfg, scheme)
 		if err != nil {
 			return nil, err
 		}
-		if err := add(s); err != nil {
-			return nil, err
+		res, err := d.replay(ctx, s)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s on %s: %w", s.Name(), name, err)
 		}
+		return []string{s.Name(), pct(res.FractionReported()), f2(res.MaxAbsError),
+			fmt.Sprintf("%d", res.BoundViolations)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper shape: TinyDB = 100%; ApC ≈ DjC1; reported fraction falls as clique size grows",
 		"violations must be 0 — Ken's bounded-loss guarantee is unconditional")
 	return t, nil
 }
 
-// djcPartitions runs Greedy-k for every k in 1..kmax over the dataset,
-// reusing one cached Monte Carlo evaluator. Partition selection uses the
-// deployment's geometric topology (spatially-near nodes are cheap to pool),
-// which is independent of the cost accounting chosen at replay time.
-func djcPartitions(d *dataset, cfg Config, kmax int, metric cliques.Metric) (map[int]*cliques.Partition, error) {
-	top, err := geometricTopology(d.dep)
-	if err != nil {
-		return nil, err
+// buildReportedScheme resolves one Fig 9/10 row through the scheme
+// registry. DjC rows get a cached Greedy-k partition over the deployment's
+// geometric topology (spatially-near nodes are cheap to pool), which is
+// independent of the cost accounting chosen at replay time.
+func buildReportedScheme(eng *engine.Engine, d *dataset, cfg Config, scheme string) (core.Scheme, error) {
+	spec := core.SchemeSpec{
+		Scheme: scheme,
+		N:      d.dep.N(),
+		Eps:    d.eps,
+		Train:  d.train,
+		FitCfg: model.FitConfig{Period: 24},
 	}
-	eval, err := d.evaluator(cfg)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[int]*cliques.Partition, kmax)
-	for k := 1; k <= kmax; k++ {
-		p, err := cliques.Greedy(top, eval, cliques.GreedyConfig{
-			K:             k,
-			NeighborLimit: cfg.NeighborLimit,
-			Metric:        metric,
-		})
+	if k, ok := djcK(scheme); ok {
+		p, err := djcPartition(eng, d, cfg, k, cliques.MetricReduction)
 		if err != nil {
-			return nil, fmt.Errorf("bench: greedy k=%d on %s: %w", k, d.name, err)
-		}
-		if err := p.Validate(d.dep.N()); err != nil {
 			return nil, err
 		}
-		out[k] = p
+		spec.Partition = p
 	}
-	return out, nil
+	return core.Build(spec)
+}
+
+// djcK extracts k from a "DjC<k>" scheme name.
+func djcK(scheme string) (int, bool) {
+	var k int
+	if _, err := fmt.Sscanf(scheme, "DjC%d", &k); err != nil || k < 1 {
+		return 0, false
+	}
+	return k, true
+}
+
+// djcPartition runs Greedy-k over the dataset's geometric topology, sharing
+// the Monte Carlo evaluator and the resulting partition through the engine
+// cache.
+func djcPartition(eng *engine.Engine, d *dataset, cfg Config, k int, metric cliques.Metric) (*cliques.Partition, error) {
+	topoKey := "topo:geom:" + d.name
+	top, err := cacheGet(eng, topoKey, func() (*network.Topology, error) {
+		return geometricTopology(d.dep)
+	})
+	if err != nil {
+		return nil, err
+	}
+	eval, evalKey, err := d.evaluator(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cachedGreedy(eng, eval, evalKey, top, topoKey, cliques.GreedyConfig{
+		K:             k,
+		NeighborLimit: cfg.NeighborLimit,
+		Metric:        metric,
+	}, d.dep.N())
 }
 
 // geometricTopology derives a connectivity graph from node positions: links

@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"ken/internal/cliques"
 	"ken/internal/core"
+	"ken/internal/engine"
 	"ken/internal/model"
 	"ken/internal/trace"
 )
@@ -13,19 +15,23 @@ import (
 // other various sampling rates and bounds, and observed very similar
 // performance trends": it sweeps the error bound ε and the sampling
 // interval on the garden dataset and reports ApC and DjC2 reporting rates
-// for each setting.
-func Sweeps(cfg Config) (*Table, error) {
+// for each setting. Every (sweep, setting) pair is one engine cell.
+func Sweeps(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	eng = ensureEngine(eng)
 	t := &Table{
 		Title:   "Sweeps: error bound and sampling rate (garden, ApC vs DjC2)",
 		Columns: []string{"sweep", "setting", "ApC reported", "DjC2 reported", "DjC2/ApC"},
 	}
-	if err := sweepEpsilon(t, cfg); err != nil {
+	epsRows, err := sweepEpsilon(ctx, eng, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if err := sweepRate(t, cfg); err != nil {
+	rateRows, err := sweepRate(ctx, eng, cfg)
+	if err != nil {
 		return nil, err
 	}
+	t.Rows = append(epsRows, rateRows...)
 	t.Notes = append(t.Notes,
 		"paper §5.1: trends are stable across bounds and rates — Ken's advantage persists",
 		"looser ε and faster sampling both reduce the reported fraction")
@@ -47,21 +53,22 @@ func pairPart(n int) *cliques.Partition {
 
 // runPair replays ApC and DjC2 on the rows at the given ε and seasonal
 // period, returning their reported fractions.
-func runPair(train, test [][]float64, epsVal float64, period int) (apc, djc float64, err error) {
+func runPair(ctx context.Context, train, test [][]float64, epsVal float64, period int) (apc, djc float64, err error) {
 	n := len(train[0])
 	eps := make([]float64, n)
 	for i := range eps {
 		eps[i] = epsVal
 	}
-	cache, err := core.NewCache(eps, nil)
+	cache, err := core.Build(core.SchemeSpec{Scheme: "ApproxCache", Eps: eps})
 	if err != nil {
 		return 0, 0, err
 	}
-	cres, err := core.Run(cache, test, eps)
+	cres, err := core.Run(ctx, cache, test, core.RunOptions{Eps: eps})
 	if err != nil {
 		return 0, 0, err
 	}
-	ken, err := core.NewKen(core.KenConfig{
+	ken, err := core.Build(core.SchemeSpec{
+		Scheme:    "Ken",
 		Partition: pairPart(n),
 		Train:     train,
 		Eps:       eps,
@@ -70,7 +77,7 @@ func runPair(train, test [][]float64, epsVal float64, period int) (apc, djc floa
 	if err != nil {
 		return 0, 0, err
 	}
-	kres, err := core.Run(ken, test, eps)
+	kres, err := core.Run(ctx, ken, test, core.RunOptions{Eps: eps})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -80,55 +87,58 @@ func runPair(train, test [][]float64, epsVal float64, period int) (apc, djc floa
 	return cres.FractionReported(), kres.FractionReported(), nil
 }
 
-// sweepEpsilon varies the error bound at the hourly rate.
-func sweepEpsilon(t *Table, cfg Config) error {
-	d, err := loadDataset("garden", cfg)
+// sweepEpsilon varies the error bound at the hourly rate, one cell per
+// bound over the shared garden dataset.
+func sweepEpsilon(ctx context.Context, eng *engine.Engine, cfg Config) ([][]string, error) {
+	d, err := loadDataset(eng, "garden", cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	for _, e := range []float64{0.1, 0.25, 0.5, 1.0, 2.0} {
-		apc, djc, err := runPair(d.train, d.test, e, 24)
+	bounds := []float64{0.1, 0.25, 0.5, 1.0, 2.0}
+	return engine.Map(ctx, eng, bounds, func(ctx context.Context, _ int, e float64) ([]string, error) {
+		apc, djc, err := runPair(ctx, d.train, d.test, e, 24)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t.AddRow("ε bound", fmt.Sprintf("±%.2f°C", e), pct(apc), pct(djc),
-			fmt.Sprintf("%.2f", safeRatio(djc, apc)))
-	}
-	return nil
+		return []string{"ε bound", fmt.Sprintf("±%.2f°C", e), pct(apc), pct(djc),
+			fmt.Sprintf("%.2f", safeRatio(djc, apc))}, nil
+	})
 }
 
-// sweepRate varies the sampling interval at ε = 0.5 °C. Faster sampling
-// means smaller per-step changes, so every scheme reports a smaller
-// fraction (the paper's FREQ f knob).
-func sweepRate(t *Table, cfg Config) error {
-	for _, sc := range []struct {
+// sweepRate varies the sampling interval at ε = 0.5 °C, one cell per rate.
+// Faster sampling means smaller per-step changes, so every scheme reports a
+// smaller fraction (the paper's FREQ f knob). Each cell's custom-rate trace
+// comes from the engine cache.
+func sweepRate(ctx context.Context, eng *engine.Engine, cfg Config) ([][]string, error) {
+	type rateSetting struct {
 		label   string
 		minutes float64
 		period  int
-	}{
+	}
+	settings := []rateSetting{
 		{"every 30 min", 30, 48},
 		{"hourly", 60, 24},
 		{"every 2 h", 120, 12},
-	} {
+	}
+	return engine.Map(ctx, eng, settings, func(ctx context.Context, _ int, sc rateSetting) ([]string, error) {
 		gc := trace.GardenConfig(cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
 		gc.StepMinutes = sc.minutes
-		tr, err := trace.Generate(trace.GardenDeployment(), gc)
+		tr, err := cachedGenerate(eng, "garden", trace.GardenDeployment(), gc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rows, err := tr.Rows(trace.Temperature)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		train, test := rows[:cfg.TrainSteps], rows[cfg.TrainSteps:]
-		apc, djc, err := runPair(train, test, 0.5, sc.period)
+		apc, djc, err := runPair(ctx, train, test, 0.5, sc.period)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t.AddRow("sampling rate", sc.label, pct(apc), pct(djc),
-			fmt.Sprintf("%.2f", safeRatio(djc, apc)))
-	}
-	return nil
+		return []string{"sampling rate", sc.label, pct(apc), pct(djc),
+			fmt.Sprintf("%.2f", safeRatio(djc, apc))}, nil
+	})
 }
 
 func safeRatio(a, b float64) float64 {

@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"ken/internal/cliques"
 	"ken/internal/core"
+	"ken/internal/engine"
 	"ken/internal/model"
 	"ken/internal/network"
 )
@@ -15,18 +17,26 @@ func uniformTopology(n int, baseMult float64) (*network.Topology, error) {
 	return network.Uniform(n, 1, baseMult)
 }
 
+// costCell is one Fig 12/13 row: a scheme replayed on a dataset under a
+// priced topology. k = 0 means Approximate Caching; k >= 1 means DjC<k>
+// with a cached Greedy-k partition.
+type costCell struct {
+	label   string
+	d       *dataset
+	top     *network.Topology
+	topoKey string
+	k       int
+}
+
 // Fig12 reproduces "Total communication cost for the garden dataset under
 // different network topologies": the cost to the base is swept over ×2, ×5
 // and ×10 the pairwise node cost, and for each topology we replay ApC and
 // Ken with Greedy-k partitions for k = 1..5, decomposing the measured cost
 // into intra-source and source-sink components.
-func Fig12(cfg Config) (*Table, error) {
+func Fig12(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	d, err := loadDataset("garden", cfg)
-	if err != nil {
-		return nil, err
-	}
-	eval, err := d.evaluator(cfg)
+	eng = ensureEngine(eng)
+	d, err := loadDataset(eng, "garden", cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -34,15 +44,20 @@ func Fig12(cfg Config) (*Table, error) {
 		Title:   fmt.Sprintf("Fig 12: total messaging cost per step, garden (%d test steps)", len(d.test)),
 		Columns: []string{"base cost", "scheme", "intra", "inter", "total", "max clique"},
 	}
+	var cells []costCell
 	for _, mult := range []float64{2, 5, 10} {
 		top, err := uniformTopology(d.dep.N(), mult)
 		if err != nil {
 			return nil, err
 		}
-		if err := topologyRows(t, d, eval, top, fmt.Sprintf("x%.0f", mult), 5, cfg); err != nil {
-			return nil, err
-		}
+		topoKey := fmt.Sprintf("topo:uniform:n=%d:base=%.0f", d.dep.N(), mult)
+		cells = append(cells, topologyCells(d, top, topoKey, fmt.Sprintf("x%.0f", mult), 5)...)
 	}
+	rows, err := runCostCells(ctx, eng, cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper shape: larger cliques pay off as the base cost multiplier grows, then level off",
 		"intra/inter are per-step averages over the replayed test trace")
@@ -53,9 +68,10 @@ func Fig12(cfg Config) (*Table, error) {
 // partitioned into three node groups, east, central and west": each region
 // is evaluated with its own cost-to-base multiplier (×1.5 / ×3 / ×6,
 // reflecting the base station at the east end).
-func Fig13(cfg Config) (*Table, error) {
+func Fig13(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	d, err := loadDataset("lab", cfg)
+	eng = ensureEngine(eng)
+	d, err := loadDataset(eng, "lab", cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -64,71 +80,87 @@ func Fig13(cfg Config) (*Table, error) {
 		Title:   fmt.Sprintf("Fig 13: total messaging cost per step, lab regions (%d test steps)", len(d.test)),
 		Columns: []string{"region", "scheme", "intra", "inter", "total", "max clique"},
 	}
+	var cells []costCell
 	for _, reg := range regions {
 		sub := d.subset(reg.Nodes)
-		eval, err := sub.evaluator(cfg)
-		if err != nil {
-			return nil, err
-		}
 		top, err := uniformTopology(len(reg.Nodes), reg.BaseMultiplier)
 		if err != nil {
 			return nil, err
 		}
+		topoKey := fmt.Sprintf("topo:uniform:n=%d:base=%.1f", len(reg.Nodes), reg.BaseMultiplier)
 		label := fmt.Sprintf("%s x%.1f", reg.Name, reg.BaseMultiplier)
-		if err := topologyRows(t, sub, eval, top, label, 5, cfg); err != nil {
-			return nil, err
-		}
+		cells = append(cells, topologyCells(sub, top, topoKey, label, 5)...)
 	}
+	rows, err := runCostCells(ctx, eng, cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper shape: regions close to the base gain nothing from larger cliques;",
 		"the far (west) region gains modestly — lab data is harder to predict than garden")
 	return t, nil
 }
 
-// topologyRows replays ApC and DjC1..DjCkmax on the dataset under the given
-// topology and appends per-step cost rows.
-func topologyRows(t *Table, d *dataset, eval *cliques.MCEvaluator, top *network.Topology, label string, kmax int, cfg Config) error {
-	steps := float64(len(d.test))
-
-	apc, err := core.NewCache(d.eps, top)
-	if err != nil {
-		return err
-	}
-	res, err := d.replay(apc)
-	if err != nil {
-		return err
-	}
-	t.AddRow(label, "ApC", f2(res.IntraCost/steps), f2(res.SinkCost/steps),
-		f2(res.TotalCost()/steps), "1")
-
+// topologyCells enumerates the ApC + DjC1..kmax rows for one priced
+// topology, in the order the paper's figure lists them.
+func topologyCells(d *dataset, top *network.Topology, topoKey, label string, kmax int) []costCell {
+	cells := []costCell{{label: label, d: d, top: top, topoKey: topoKey, k: 0}}
 	for k := 1; k <= kmax; k++ {
-		p, err := cliques.Greedy(top, eval, cliques.GreedyConfig{
-			K:             k,
-			NeighborLimit: cfg.NeighborLimit,
-		})
-		if err != nil {
-			return fmt.Errorf("bench: greedy k=%d (%s): %w", k, label, err)
-		}
-		s, err := core.NewKen(core.KenConfig{
-			Name:      fmt.Sprintf("DjC%d", k),
-			Partition: p,
-			Train:     d.train,
-			Eps:       d.eps,
-			FitCfg:    model.FitConfig{Period: 24},
-			Topology:  top,
-		})
-		if err != nil {
-			return err
-		}
-		res, err := d.replay(s)
-		if err != nil {
-			return err
-		}
-		if res.BoundViolations != 0 {
-			return fmt.Errorf("bench: %s violated ε %d times on %s", s.Name(), res.BoundViolations, label)
-		}
-		t.AddRow(label, s.Name(), f2(res.IntraCost/steps), f2(res.SinkCost/steps),
-			f2(res.TotalCost()/steps), fmt.Sprintf("%d", p.MaxCliqueSize()))
+		cells = append(cells, costCell{label: label, d: d, top: top, topoKey: topoKey, k: k})
 	}
-	return nil
+	return cells
+}
+
+// runCostCells replays every cell through the engine and formats the
+// per-step cost rows.
+func runCostCells(ctx context.Context, eng *engine.Engine, cfg Config, cells []costCell) ([][]string, error) {
+	return engine.Map(ctx, eng, cells, func(ctx context.Context, _ int, c costCell) ([]string, error) {
+		steps := float64(len(c.d.test))
+		spec := core.SchemeSpec{
+			Eps:      c.d.eps,
+			Train:    c.d.train,
+			FitCfg:   model.FitConfig{Period: 24},
+			Topology: c.top,
+		}
+		maxClique := "1"
+		if c.k == 0 {
+			spec.Scheme = "ApproxCache"
+		} else {
+			p, err := c.d.greedyOn(eng, cfg, c.top, c.topoKey, c.k)
+			if err != nil {
+				return nil, fmt.Errorf("bench: greedy k=%d (%s): %w", c.k, c.label, err)
+			}
+			spec.Scheme = fmt.Sprintf("DjC%d", c.k)
+			spec.Partition = p
+			maxClique = fmt.Sprintf("%d", p.MaxCliqueSize())
+		}
+		s, err := core.Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.d.replay(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		if c.k > 0 && res.BoundViolations != 0 {
+			return nil, fmt.Errorf("bench: %s violated ε %d times on %s", s.Name(), res.BoundViolations, c.label)
+		}
+		return []string{c.label, s.Name(), f2(res.IntraCost / steps), f2(res.SinkCost / steps),
+			f2(res.TotalCost() / steps), maxClique}, nil
+	})
+}
+
+// greedyOn selects (or fetches) the Greedy-k partition for this dataset on
+// an explicit topology, sharing evaluator and partition via the engine
+// cache.
+func (d *dataset) greedyOn(eng *engine.Engine, cfg Config, top *network.Topology, topoKey string, k int) (*cliques.Partition, error) {
+	eval, evalKey, err := d.evaluator(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cachedGreedy(eng, eval, evalKey, top, topoKey, cliques.GreedyConfig{
+		K:             k,
+		NeighborLimit: cfg.NeighborLimit,
+	}, len(d.eps))
 }

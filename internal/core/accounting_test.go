@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ken/internal/model"
@@ -128,7 +129,7 @@ func TestAccountingConsistencyAcrossSchemes(t *testing.T) {
 			if sc.name == "djc2-prob" || sc.name == "djc2-lossy" {
 				auditEps = nil
 			}
-			res, err := Run(s, test, auditEps)
+			res, err := Run(context.Background(), s, test, RunOptions{Eps: auditEps})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -140,11 +141,11 @@ func TestAccountingConsistencyAcrossSchemes(t *testing.T) {
 	}
 }
 
-// TestRunObservedMetricsMatchResult runs an observed Lab replay and checks
+// TestRunObserverMetricsMatchResult runs an observed Lab replay and checks
 // that the live metrics the registry exports agree exactly with the Result
 // totals — the guarantee that a /metrics scrape and a bench table never tell
 // different stories.
-func TestRunObservedMetricsMatchResult(t *testing.T) {
+func TestRunObserverMetricsMatchResult(t *testing.T) {
 	const n, trainN, testN = 4, 100, 120
 	train, test, eps := labData(t, n, trainN, testN)
 
@@ -155,7 +156,7 @@ func TestRunObservedMetricsMatchResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunObserved(s, test, eps, ob)
+	res, err := Run(context.Background(), s, test, RunOptions{Eps: eps, Observer: ob})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -103,28 +104,38 @@ func (r *Result) TotalCost() float64 { return r.IntraCost + r.SinkCost }
 // ErrEmptyTest is returned when the test trace has no rows.
 var ErrEmptyTest = errors.New("core: empty test data")
 
-// Run replays the scheme over the test rows and audits every sink estimate
-// against the ε bounds. eps may be nil to skip auditing (e.g. for schemes
-// intentionally run with probabilistic guarantees).
-func Run(s Scheme, test [][]float64, eps []float64) (*Result, error) {
-	return RunObserved(s, test, eps, nil)
+// RunOptions configure a replay. The zero value runs unaudited and
+// unobserved.
+type RunOptions struct {
+	// Eps are the per-attribute error bounds audited at the sink. Nil
+	// skips auditing (e.g. for schemes intentionally run with
+	// probabilistic guarantees).
+	Eps []float64
+	// Observer, when non-nil, receives per-epoch start/end trace events
+	// and live audit metrics (epochs, values, ε-violations, running max
+	// error) while the replay progresses — the handle a live /metrics
+	// endpoint watches during a long simulation.
+	Observer *obs.Observer
 }
 
-// RunObserved is Run with an observability sink: per-epoch start/end trace
-// events and live audit metrics (epochs, values, ε-violations, running max
-// error) flow into ob while the replay progresses — the handle a live
-// /metrics endpoint watches during a long simulation. ob may be nil, which
-// is exactly Run.
-func RunObserved(s Scheme, test [][]float64, eps []float64, ob *obs.Observer) (*Result, error) {
+// Run replays the scheme over the test rows, audits every sink estimate
+// against opts.Eps, and accumulates the statistics the paper reports. ctx
+// is checked between steps, so a canceled context stops a long replay
+// promptly; nil ctx is treated as context.Background().
+func Run(ctx context.Context, s Scheme, test [][]float64, opts RunOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(test) == 0 {
 		return nil, ErrEmptyTest
 	}
 	n := s.Dim()
+	eps := opts.Eps
 	if eps != nil && len(eps) != n {
 		return nil, fmt.Errorf("core: eps dim %d, scheme dim %d", len(eps), n)
 	}
-	reg := ob.Registry()
-	tracer := ob.Tracer()
+	reg := opts.Observer.Registry()
+	tracer := opts.Observer.Tracer()
 	mEpochs := reg.Counter("ken_epochs_total")
 	mRunValues := reg.Counter("ken_run_values_reported_total")
 	mViolations := reg.Counter("ken_epsilon_violations_total")
@@ -138,6 +149,9 @@ func RunObserved(s Scheme, test [][]float64, eps []float64, ob *obs.Observer) (*
 	}
 	var absErrSum float64
 	for t, truth := range test {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if len(truth) != n {
 			return nil, fmt.Errorf("core: test row %d has dim %d, want %d", t, len(truth), n)
 		}

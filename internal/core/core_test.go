@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -64,7 +65,7 @@ func TestTinyDBExactAndFull(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(s, test, eps)
+	res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestCacheGuaranteeAndSavings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(s, test, eps)
+	res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestKenGuaranteeHolds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run(s, test, eps)
+		res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +194,7 @@ func TestKenSpatialCliquesReduceReports(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run(s, test, eps)
+		res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -260,7 +261,7 @@ func TestKenTopologyAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(s, test, eps)
+	res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestKenExhaustiveNoWorseThanGreedy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run(s, test, eps)
+		res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -315,7 +316,7 @@ func TestKenProbabilisticReportsLessButViolates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	detRes, err := Run(det, test, eps)
+	detRes, err := Run(context.Background(), det, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestKenProbabilisticReportsLessButViolates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	probRes, err := Run(prob, test, eps)
+	probRes, err := Run(context.Background(), prob, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestAverageGuaranteeAndBehaviour(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(s, test, eps)
+	res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +383,7 @@ func TestAverageAggregationCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(s, test, eps)
+	res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,13 +412,13 @@ func TestRunValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(s, nil, nil); err == nil {
+	if _, err := Run(context.Background(), s, nil, RunOptions{}); err == nil {
 		t.Fatal("expected error for empty test data")
 	}
-	if _, err := Run(s, [][]float64{{1}}, nil); err == nil {
+	if _, err := Run(context.Background(), s, [][]float64{{1}}, RunOptions{}); err == nil {
 		t.Fatal("expected error for row dim mismatch")
 	}
-	if _, err := Run(s, [][]float64{{1, 2}}, []float64{1}); err == nil {
+	if _, err := Run(context.Background(), s, [][]float64{{1, 2}}, RunOptions{Eps: []float64{1}}); err == nil {
 		t.Fatal("expected error for eps dim mismatch")
 	}
 }
@@ -433,7 +434,7 @@ func TestLossyKenDivergesAndHeartbeatsHeal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resNoHB, err := Run(noHB, test, eps)
+	resNoHB, err := Run(context.Background(), noHB, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,7 +449,7 @@ func TestLossyKenDivergesAndHeartbeatsHeal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resHB, err := Run(hb, test, eps)
+	resHB, err := Run(context.Background(), hb, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +465,7 @@ func TestLossyKenDivergesAndHeartbeatsHeal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resClean, err := Run(clean, test, eps)
+	resClean, err := Run(context.Background(), clean, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -534,7 +535,7 @@ func TestKenAnomalyPushedImmediately(t *testing.T) {
 	}
 	// Inject a 25-degree spike at step 50, node 2.
 	test[50][2] += 25
-	res, err := Run(s, test, eps)
+	res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -596,7 +597,7 @@ func TestQuickGuaranteeAcrossRandomConfigurations(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := Run(s, test, eps)
+		res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 		if err != nil {
 			return false
 		}
@@ -628,7 +629,7 @@ func TestKenModelFactoryAdaptive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(s, test, eps)
+	res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -672,7 +673,7 @@ func TestKenModelFactoryLinearIsJainEtAl(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(s, test, eps)
+	res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -701,7 +702,7 @@ func TestReportCountsSkewInCliques(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(s, test, eps)
+	res, err := Run(context.Background(), s, test, RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -81,6 +81,7 @@ type kenClique struct {
 type Ken struct {
 	name       string
 	n          int
+	part       *cliques.Partition
 	cliques    []kenClique
 	top        *network.Topology
 	exhaustive bool
@@ -130,6 +131,7 @@ func NewKen(cfg KenConfig) (*Ken, error) {
 	k := &Ken{
 		name:       name,
 		n:          n,
+		part:       cfg.Partition,
 		top:        cfg.Topology,
 		exhaustive: cfg.Exhaustive,
 		prob:       cfg.Prob,
@@ -209,6 +211,10 @@ func (k *Ken) Name() string { return k.name }
 
 // Dim implements Scheme.
 func (k *Ken) Dim() int { return k.n }
+
+// Partition returns the Disjoint-Cliques partition the scheme runs on
+// (read-only; useful for reporting which cliques Build selected).
+func (k *Ken) Partition() *cliques.Partition { return k.part }
 
 // Step implements Scheme: for every clique, advance both replicas, let the
 // source choose the minimal report set, deliver it, and read the sink's

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ken/internal/cliques"
 	"ken/internal/model"
 )
 
@@ -68,6 +69,9 @@ func (l *LossyKen) Name() string { return l.ken.name + "-lossy" }
 
 // Dim implements Scheme.
 func (l *LossyKen) Dim() int { return l.ken.n }
+
+// Partition returns the wrapped scheme's Disjoint-Cliques partition.
+func (l *LossyKen) Partition() *cliques.Partition { return l.ken.Partition() }
 
 // Step implements Scheme.
 func (l *LossyKen) Step(truth []float64) ([]float64, StepStats, error) {

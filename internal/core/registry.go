@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ken/internal/cliques"
+	"ken/internal/mc"
+	"ken/internal/model"
+	"ken/internal/network"
+	"ken/internal/obs"
+)
+
+// SchemeSpec declaratively describes a collection scheme for Build: one
+// config struct instead of a different positional constructor per scheme.
+// Scheme selects the registered builder; the remaining fields are
+// interpreted by that builder and ignored otherwise.
+type SchemeSpec struct {
+	// Scheme is the registry name: "TinyDB", "ApproxCache", "Average",
+	// "Ken", or "DjC<k>" (Ken with K = <k>). Matching is case-insensitive
+	// and the short aliases "apc", "cache", "avg" and "djc" are accepted.
+	Scheme string
+	// Name overrides the scheme's display name in results (optional).
+	Name string
+	// N is the attribute count for schemes that need nothing else
+	// (TinyDB). When zero it is inferred from Eps or Train.
+	N int
+	// Eps are the per-attribute error bounds.
+	Eps []float64
+	// Train is the model-learning prefix (Average, Ken).
+	Train [][]float64
+	// FitCfg controls model learning.
+	FitCfg model.FitConfig
+	// ModelFactory overrides the default per-clique FitLinearGaussian
+	// (Ken only); see KenConfig.ModelFactory.
+	ModelFactory func(train [][]float64) (model.Model, error)
+	// Partition fixes the Disjoint-Cliques partition (Ken). When nil, a
+	// Greedy-K partition is selected on Topology (or a uniform ×5
+	// topology when Topology is nil, the default of the paper's cost
+	// study).
+	Partition *cliques.Partition
+	// K is the maximum clique size for automatic partition selection.
+	K int
+	// NeighborLimit caps the greedy partitioner's candidate pools.
+	NeighborLimit int
+	// MC sizes the Monte Carlo m_C estimation behind partition selection.
+	MC mc.Config
+	// Metric picks the greedy partitioner's objective.
+	Metric cliques.Metric
+	// Topology prices messages; nil gives topology-independent
+	// accounting.
+	Topology *network.Topology
+	// Prob enables §6 probabilistic reporting (Ken).
+	Prob *ProbConfig
+	// Lossy wraps the scheme with §6 message-loss injection (Ken).
+	Lossy *LossyConfig
+	// Exhaustive switches Ken's report search to exact enumeration.
+	Exhaustive bool
+	// Obs attaches metrics and protocol event tracing.
+	Obs *obs.Observer
+}
+
+// dim infers the attribute count from the spec.
+func (s SchemeSpec) dim() int {
+	if s.N > 0 {
+		return s.N
+	}
+	if len(s.Eps) > 0 {
+		return len(s.Eps)
+	}
+	if len(s.Train) > 0 {
+		return len(s.Train[0])
+	}
+	return 0
+}
+
+// Builder constructs a scheme from a spec.
+type Builder func(SchemeSpec) (Scheme, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Builder{}
+)
+
+// RegisterScheme adds (or replaces) a named scheme builder. Names are
+// case-insensitive. The built-in schemes are registered at init; tests and
+// extensions may add their own families.
+func RegisterScheme(name string, b Builder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[strings.ToLower(name)] = b
+}
+
+// Schemes returns the sorted registered scheme names (lower-cased).
+func Schemes() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build resolves spec.Scheme through the registry and constructs the
+// scheme. "DjC<k>" (any case) resolves to the Ken builder with K = <k> and
+// a matching display name.
+func Build(spec SchemeSpec) (Scheme, error) {
+	name := strings.ToLower(strings.TrimSpace(spec.Scheme))
+	if k, ok := parseDjC(name); ok {
+		spec.K = k
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("DjC%d", k)
+		}
+		name = "ken"
+	}
+	registryMu.RLock()
+	b, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scheme %q (have %s)", spec.Scheme, strings.Join(Schemes(), ", "))
+	}
+	return b(spec)
+}
+
+// parseDjC matches "djc<k>" with a positive integer k.
+func parseDjC(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "djc")
+	if !ok || rest == "" {
+		return 0, false
+	}
+	k, err := strconv.Atoi(rest)
+	if err != nil || k < 1 {
+		return 0, false
+	}
+	return k, true
+}
+
+func init() {
+	tinydb := func(s SchemeSpec) (Scheme, error) { return NewTinyDB(s.dim(), s.Topology) }
+	apc := func(s SchemeSpec) (Scheme, error) { return NewCache(s.Eps, s.Topology) }
+	avg := func(s SchemeSpec) (Scheme, error) { return NewAverage(s.Train, s.Eps, s.FitCfg, s.Topology) }
+	for _, n := range []string{"TinyDB"} {
+		RegisterScheme(n, tinydb)
+	}
+	for _, n := range []string{"ApproxCache", "ApC", "Cache"} {
+		RegisterScheme(n, apc)
+	}
+	for _, n := range []string{"Average", "Avg"} {
+		RegisterScheme(n, avg)
+	}
+	for _, n := range []string{"Ken", "DjC"} {
+		RegisterScheme(n, buildKen)
+	}
+}
+
+// buildKen assembles the Disjoint-Cliques scheme, selecting a Greedy-K
+// partition when the spec does not fix one.
+func buildKen(spec SchemeSpec) (Scheme, error) {
+	part := spec.Partition
+	if part == nil {
+		k := spec.K
+		if k < 1 {
+			return nil, fmt.Errorf("core: Ken needs a Partition or K >= 1 for greedy selection")
+		}
+		eval, err := cliques.NewMCEvaluator(spec.Train, spec.Eps, spec.FitCfg, spec.MC)
+		if err != nil {
+			return nil, err
+		}
+		top := spec.Topology
+		if top == nil {
+			// Partition selection needs some topology; use the uniform
+			// ×5 the paper's cost study centres on.
+			top, err = network.Uniform(spec.dim(), 1, 5)
+			if err != nil {
+				return nil, err
+			}
+		}
+		part, err = cliques.Greedy(top, eval, cliques.GreedyConfig{
+			K:             k,
+			NeighborLimit: spec.NeighborLimit,
+			Metric:        spec.Metric,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: greedy k=%d partition selection: %w", k, err)
+		}
+	}
+	cfg := KenConfig{
+		Name:         spec.Name,
+		Partition:    part,
+		Train:        spec.Train,
+		Eps:          spec.Eps,
+		FitCfg:       spec.FitCfg,
+		ModelFactory: spec.ModelFactory,
+		Topology:     spec.Topology,
+		Exhaustive:   spec.Exhaustive,
+		Prob:         spec.Prob,
+		Obs:          spec.Obs,
+	}
+	if spec.Lossy != nil {
+		return NewLossyKen(cfg, *spec.Lossy)
+	}
+	return NewKen(cfg)
+}

@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ken/internal/obs"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		e := New(Options{Workers: workers})
+		items := make([]int, 100)
+		for i := range items {
+			items[i] = i
+		}
+		out, err := Map(context.Background(), e, items, func(_ context.Context, idx, item int) (string, error) {
+			return fmt.Sprintf("%d*%d", idx, item), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, got := range out {
+			if want := fmt.Sprintf("%d*%d", i, i); got != want {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMapNilEngineRunsInline(t *testing.T) {
+	out, err := Map(context.Background(), nil, []int{1, 2, 3}, func(_ context.Context, _, item int) (int, error) {
+		return item * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 || out[1] != 4 || out[2] != 6 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestMapErrorPropagation(t *testing.T) {
+	e := New(Options{Workers: 4})
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), e, []int{0, 1, 2, 3, 4, 5, 6, 7}, func(_ context.Context, idx, _ int) (int, error) {
+		if idx == 3 {
+			return 0, boom
+		}
+		return idx, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the cell error (not a cancellation knock-on)", err)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	e := New(Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	done := make(chan struct{})
+	var out []int
+	var err error
+	go func() {
+		defer close(done)
+		out, err = Map(ctx, e, make([]int, 64), func(cctx context.Context, idx, _ int) (int, error) {
+			started.Add(1)
+			select {
+			case <-release:
+			case <-cctx.Done():
+				return 0, cctx.Err()
+			}
+			return idx, nil
+		})
+	}()
+	// Let the first cells occupy the pool, then cancel: the remaining
+	// items must not start.
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 64 {
+		t.Fatalf("all %d cells started despite cancellation", n)
+	}
+	if len(out) != 64 {
+		t.Fatalf("result slice has %d slots, want 64", len(out))
+	}
+}
+
+func TestMapNestedRunsInline(t *testing.T) {
+	e := New(Options{Workers: 4})
+	out, err := Map(context.Background(), e, []int{10, 20}, func(ctx context.Context, _, item int) (int, error) {
+		// A nested Map must not compete for pool slots; it runs inline.
+		inner, err := Map(ctx, e, []int{1, 2, 3}, func(_ context.Context, _, v int) (int, error) {
+			return v * item, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		sum := 0
+		for _, v := range inner {
+			sum += v
+		}
+		return sum, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 60 || out[1] != 120 {
+		t.Fatalf("out = %v, want [60 120]", out)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(nil)
+	var builds atomic.Int64
+	const goroutines = 32
+	var wg sync.WaitGroup
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := Get(c, "shared", func() (int, error) {
+				builds.Add(1)
+				time.Sleep(5 * time.Millisecond) // widen the race window
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = v
+		}(g)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times, want exactly once", n)
+	}
+	for g, v := range results {
+		if v != 42 {
+			t.Fatalf("goroutine %d saw %d", g, v)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d keys, want 1", c.Len())
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	c := NewCache(nil)
+	var builds atomic.Int64
+	boom := errors.New("deterministic failure")
+	for i := 0; i < 3; i++ {
+		_, err := Get(c, "bad", func() (int, error) {
+			builds.Add(1)
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("attempt %d: err = %v", i, err)
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("failed build retried %d times, want cached after 1", n)
+	}
+}
+
+func TestCacheTypeMismatch(t *testing.T) {
+	c := NewCache(nil)
+	if _, err := Get(c, "k", func() (int, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get(c, "k", func() (string, error) { return "x", nil }); err == nil {
+		t.Fatal("expected a type-mismatch error for reused key")
+	}
+}
+
+func TestCacheMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(&obs.Observer{Reg: reg})
+	for i := 0; i < 5; i++ {
+		if _, err := Get(c, "k", func() (int, error) { return 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["engine_cache_misses_total"] != 1 {
+		t.Fatalf("misses = %d, want 1", snap.Counters["engine_cache_misses_total"])
+	}
+	if snap.Counters["engine_cache_hits_total"] != 4 {
+		t.Fatalf("hits = %d, want 4", snap.Counters["engine_cache_hits_total"])
+	}
+}
+
+func TestCellSeedDeterministic(t *testing.T) {
+	a := CellSeed(1, "fig9", "garden", "DjC3")
+	b := CellSeed(1, "fig9", "garden", "DjC3")
+	if a != b {
+		t.Fatalf("same labels gave %d and %d", a, b)
+	}
+	if CellSeed(1, "fig9", "garden", "DjC3") == CellSeed(1, "fig9", "garden", "DjC4") {
+		t.Fatal("distinct labels collided")
+	}
+	if CellSeed(1, "a", "b") == CellSeed(1, "ab") {
+		t.Fatal("label boundary not separated: {a,b} collided with {ab}")
+	}
+	if CellSeed(1, "x") == CellSeed(2, "x") {
+		t.Fatal("base seed ignored")
+	}
+}
+
+func TestKeyMatrixDistinguishes(t *testing.T) {
+	a := KeyMatrix([][]float64{{1, 2}, {3, 4}})
+	if a != KeyMatrix([][]float64{{1, 2}, {3, 4}}) {
+		t.Fatal("same matrix, different keys")
+	}
+	if a == KeyMatrix([][]float64{{1, 2}, {3, 5}}) {
+		t.Fatal("different values, same key")
+	}
+	if a == KeyMatrix([][]float64{{1, 2, 3, 4}}) {
+		t.Fatal("different shape, same key")
+	}
+}
+
+func TestEngineMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Options{Workers: 2, Obs: &obs.Observer{Reg: reg}})
+	_, err := Map(context.Background(), e, []int{1, 2, 3}, func(_ context.Context, idx, _ int) (int, error) {
+		if idx == 2 {
+			return 0, errors.New("fail")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["engine_cells_total"] < 1 {
+		t.Fatal("no cells counted")
+	}
+	if snap.Counters["engine_cell_errors_total"] != 1 {
+		t.Fatalf("cell errors = %d, want 1", snap.Counters["engine_cell_errors_total"])
+	}
+	if snap.Histograms["engine_cell_seconds"].Count < 1 {
+		t.Fatal("no cell timings observed")
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if w := New(Options{}).Workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+	if w := New(Options{Workers: 8}).Workers(); w != 8 {
+		t.Fatalf("workers = %d, want 8", w)
+	}
+}

@@ -1,6 +1,7 @@
 package events
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -136,7 +137,7 @@ func TestEndToEndNoMissedEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(s, test, eps)
+	res, err := core.Run(context.Background(), s, test, core.RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}

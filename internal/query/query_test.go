@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -126,7 +127,7 @@ func TestBoundsHoldOverKenStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(s, test, eps)
+	res, err := core.Run(context.Background(), s, test, core.RunOptions{Eps: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
