@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet fmt-check test race cover bench bench-smoke figures examples fuzz clean
+.PHONY: all check build vet lint fmt-check test race cover bench bench-smoke figures examples fuzz clean
 
 all: build test
 
-# check is the pre-commit gate: formatting, static analysis, the test
-# suite and the race detector in one go.
-check: fmt-check vet test race
+# check is the pre-commit gate: formatting, static analysis (vet + the
+# kenlint invariant analyzers), the test suite and the race detector in
+# one go.
+check: fmt-check vet lint test race
 
 build:
 	$(GO) build ./...
@@ -16,6 +17,14 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the custom go/analysis suite (cmd/kenlint): determinism,
+# seeding, wire-error, float-comparison and observability invariants.
+# See docs/LINT.md. Ordered after vet in check so the `go vet` build pass
+# has already warmed the build cache kenlint's `go run` compiles from —
+# the two analyses share one compilation of the tree.
+lint:
+	$(GO) run ./cmd/kenlint ./...
 
 fmt-check:
 	@out=$$(gofmt -l cmd internal examples); \

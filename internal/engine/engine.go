@@ -29,7 +29,6 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"time"
 
 	"ken/internal/obs"
 )
@@ -140,16 +139,22 @@ func Map[T, R any](ctx context.Context, e *Engine, items []T, fn func(ctx contex
 	return out, firstError(errs)
 }
 
-// runCell executes one cell with per-cell timing.
+// runCell executes one cell with per-cell timing. Clock access lives
+// behind obs.Timer.Start so this package stays free of wall-clock reads
+// (the kenlint nondeterminism invariant); all handles are nil-safe, so a
+// nil engine runs dark at no cost.
 func runCell[T, R any](ctx context.Context, e *Engine, i int, item T, fn func(ctx context.Context, idx int, item T) (R, error)) (R, error) {
-	start := time.Now()
-	r, err := fn(ctx, i, item)
+	var tCell *obs.Timer
+	var mCells, mCellErrs *obs.Counter
 	if e != nil {
-		e.tCell.Observe(time.Since(start))
-		e.mCells.Inc()
-		if err != nil {
-			e.mCellErrs.Inc()
-		}
+		tCell, mCells, mCellErrs = e.tCell, e.mCells, e.mCellErrs
+	}
+	stop := tCell.Start()
+	r, err := fn(ctx, i, item)
+	stop()
+	mCells.Inc()
+	if err != nil {
+		mCellErrs.Inc()
 	}
 	return r, err
 }

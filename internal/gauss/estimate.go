@@ -63,7 +63,7 @@ func EstimateCov(data [][]float64, mean []float64, ridge float64) (*mat.Dense, e
 			avgVar += cov.At(i, i)
 		}
 		avgVar /= float64(n)
-		if avgVar == 0 {
+		if isZero(avgVar) {
 			avgVar = 1
 		}
 		for i := 0; i < n; i++ {
@@ -118,3 +118,11 @@ func CrossCov(x, y [][]float64, muX, muY []float64) (*mat.Dense, error) {
 	}
 	return out, nil
 }
+
+// isZero reports exact equality with zero. Degenerate-input guards are the
+// one place exact float comparison is right: any nonzero value, however
+// tiny, is a usable divisor, while a true zero means the computation is
+// undefined and must take the fallback path.
+//
+//lint:comparator exact zero sentinel backing ridge-scale guards
+func isZero(v float64) bool { return v == 0 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"ken/internal/mat"
 )
@@ -144,7 +145,7 @@ func (g *Gaussian) Condition(obs map[int]float64) (cond *Gaussian, keep []int, e
 		}
 		obsIdx = append(obsIdx, i)
 	}
-	sortInts(obsIdx)
+	sort.Ints(obsIdx)
 	keep = complementIndex(n, obsIdx)
 	if len(keep) == 0 {
 		return nil, nil, nil
@@ -267,15 +268,6 @@ func complementIndex(n int, sortedIdx []int) []int {
 	return out
 }
 
-func sortInts(a []int) {
-	// Insertion sort: observation sets are tiny (clique-sized).
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
-}
-
 // KL returns the Kullback–Leibler divergence D(g‖other) in nats:
 //
 //	½ [ tr(Σ₂⁻¹Σ₁) + (μ₂−μ₁)ᵀΣ₂⁻¹(μ₂−μ₁) − n + ln(|Σ₂|/|Σ₁|) ]
@@ -336,7 +328,7 @@ func (g *Gaussian) ConditionNoisy(obs map[int]float64, noiseVar map[int]float64)
 		}
 		obsIdx = append(obsIdx, i)
 	}
-	sortInts(obsIdx)
+	sort.Ints(obsIdx)
 	for i, v := range noiseVar {
 		if _, ok := obs[i]; !ok {
 			return nil, fmt.Errorf("gauss: noise variance for unobserved attribute %d", i)

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+
+	"ken/internal/lint/driver"
+)
+
+// ErrWire protects the checked-wire-format invariant of docs/PROTOCOL.md:
+// every internal/wire Encode/Decode error carries a corruption or
+// validation signal the replicated-model protocol must react to, so
+// silently discarding one (a bare call statement) is always a bug.
+// Inside the cmd/ binaries it additionally flags discarded errors from the
+// io, bufio and flag packages — dropped Flush/Write/Set errors are how
+// truncated tables and half-applied flag values happen. An explicit
+// `_ = call()` assignment is the documented opt-out for genuinely
+// ignorable errors; everything else needs handling or a
+// //lint:ignore errwire directive with a reason.
+var ErrWire = &driver.Analyzer{
+	Name: "errwire",
+	Doc: "flags call statements that discard the error result of internal/wire " +
+		"encode/decode anywhere, and of io/bufio/flag calls inside cmd/*; " +
+		"assign to _ explicitly if the error is truly ignorable",
+	Run: runErrWire,
+}
+
+func runErrWire(pass *driver.Pass) error {
+	info := pass.Pkg.Info
+	inCmd := pass.Pkg.ScopePath == "cmd" || hasPathPrefix(pass.Pkg.ScopePath, "cmd")
+	pass.Inspect(func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = ast.Unparen(stmt.X).(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = stmt.Call
+		case *ast.GoStmt:
+			call = stmt.Call
+		}
+		if call == nil {
+			return true
+		}
+		fn := callee(info, call)
+		if fn == nil || !returnsError(fn) {
+			return true
+		}
+		switch {
+		case fromPkg(fn, "internal/wire"):
+			pass.Reportf(call.Pos(),
+				"discarded error from wire.%s: wire errors signal frame corruption the "+
+					"protocol must handle (docs/PROTOCOL.md); check it or assign to _ "+
+					"explicitly", fn.Name())
+		case inCmd && (fromPkg(fn, "io") || fromPkg(fn, "bufio") || fromPkg(fn, "flag")):
+			pass.Reportf(call.Pos(),
+				"discarded error from %s.%s in a command: dropped write/flush/flag errors "+
+					"truncate output silently; check it or assign to _ explicitly",
+				fn.Pkg().Name(), fn.Name())
+		}
+		return true
+	})
+	return nil
+}
+
+// hasPathPrefix reports whether path is under the given slash-separated
+// prefix segment ("cmd" matches "cmd/kensim" but not "cmdx").
+func hasPathPrefix(path, prefix string) bool {
+	return len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/'
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ken/internal/lint/driver"
+)
+
+// FloatEq enforces the numerical-comparison discipline in the math
+// kernels (internal/stats, internal/gauss, internal/mat): `==` and `!=`
+// on floating-point values silently encode an exactness assumption that
+// breaks under reordered summation, fused multiply-add, or a refactored
+// solve path — exactly the kind of drift the ε-guarantee audit exists to
+// catch. Comparisons belong in tolerance helpers. Two escapes exist: a
+// function whose doc comment carries a "//lint:comparator" directive is an
+// approved comparator and may compare exactly inside, and the NaN
+// self-test `v != v` is idiomatic and never flagged.
+var FloatEq = &driver.Analyzer{
+	Name: "floateq",
+	Doc: "flags == and != on float operands in internal/stats, internal/gauss and " +
+		"internal/mat outside //lint:comparator-approved helper functions; compare " +
+		"against a tolerance, or mark intentional exact sentinel checks with " +
+		"//lint:ignore floateq <reason>",
+	Scope: driver.ScopeIn("internal/stats", "internal/gauss", "internal/mat"),
+	Run:   runFloatEq,
+}
+
+func runFloatEq(pass *driver.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if decl, ok := n.(*ast.FuncDecl); ok && isComparatorFunc(decl) {
+				return false
+			}
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(info.TypeOf(bin.X)) && !isFloat(info.TypeOf(bin.Y)) {
+				return true
+			}
+			// `v != v` is the idiomatic NaN check; leave it alone.
+			if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.Pos(),
+				"floating-point %s compares for exact equality; use a tolerance "+
+					"comparison (or a //lint:comparator helper), or justify the exact "+
+					"check with //lint:ignore floateq <reason>", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t's core type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isComparatorFunc reports whether the function is marked as an approved
+// comparator via a //lint:comparator doc-comment directive.
+func isComparatorFunc(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(c.Text, "//lint:comparator") {
+			return true
+		}
+	}
+	return false
+}

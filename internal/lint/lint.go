@@ -1,0 +1,91 @@
+// Package lint is kenlint's analyzer suite: custom static checks that turn
+// the determinism, seeding and protocol invariants documented in
+// docs/ENGINE.md, docs/PROTOCOL.md and docs/OBSERVABILITY.md from prose
+// into mechanically enforced rules. The analyzers run on the stdlib-only
+// go/analysis work-alike in internal/lint/driver; cmd/kenlint is the
+// multichecker binary and "make lint" the gate. docs/LINT.md catalogues
+// every analyzer, the invariant behind it, and the
+// "//lint:ignore <analyzer> <reason>" escape hatch.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ken/internal/lint/driver"
+)
+
+// Analyzers returns the full kenlint suite in stable order.
+func Analyzers() []*driver.Analyzer {
+	return []*driver.Analyzer{
+		Nondeterminism,
+		MapRange,
+		ErrWire,
+		FloatEq,
+		ObsHandle,
+	}
+}
+
+// callee resolves the *types.Func a call invokes (package function or
+// method), or nil for builtins, conversions, and indirect calls through
+// function values.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package a function belongs
+// to ("" for builtins and universe-scope functions like error.Error).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isMethod reports whether fn has a receiver.
+func isMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// fromPkg reports whether fn lives in the package with the given
+// module-relative import path: an exact match ("time"), or a module
+// internal path matched by suffix so "internal/obs" covers
+// "ken/internal/obs" wherever the module is checked out.
+func fromPkg(fn *types.Func, path string) bool {
+	p := funcPkgPath(fn)
+	return p == path || strings.HasSuffix(p, "/"+path)
+}
+
+// returnsError reports whether the last result of fn is the builtin error
+// type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// mentionsObject reports whether any identifier under n resolves to obj.
+func mentionsObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

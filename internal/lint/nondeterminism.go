@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ken/internal/lint/driver"
+)
+
+// Nondeterminism enforces the seeding discipline of docs/ENGINE.md §
+// "Determinism and seeding discipline" inside the packages whose results
+// must be byte-identical across worker counts: all randomness flows from
+// configuration seeds (engine.CellSeed derivations) and never from the
+// wall clock or the process-global math/rand source, whose consumption
+// order depends on scheduling.
+var Nondeterminism = &driver.Analyzer{
+	Name: "nondeterminism",
+	Doc: "flags wall-clock reads (time.Now/Since/Until), process-global math/rand " +
+		"draws, and RNGs seeded from the clock inside the deterministic packages " +
+		"(internal/bench, internal/engine, internal/trace, internal/mc); seed a local " +
+		"rand.New(rand.NewSource(engine.CellSeed(base, labels...))) instead",
+	Scope: driver.ScopeIn("internal/bench", "internal/engine", "internal/trace", "internal/mc"),
+	Run:   runNondeterminism,
+}
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that draw from the shared global source. rand.New,
+// rand.NewSource and rand.NewZipf are absent on purpose: constructing a
+// locally seeded generator is exactly the approved pattern.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"UintN": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+func runNondeterminism(pass *driver.Pass) error {
+	info := pass.Pkg.Info
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callee(info, call)
+		if fn == nil {
+			return true
+		}
+		name := fn.Name()
+		switch {
+		case fromPkg(fn, "time") && (name == "Now" || name == "Since" || name == "Until"):
+			pass.Reportf(call.Pos(),
+				"wall-clock time.%s in a deterministic package; results must not depend on "+
+					"real time — derive timing from step counters, or route instrumentation "+
+					"through an obs.Timer", name)
+		case isRandPkg(fn) && !isMethod(fn) && globalRandFuncs[name]:
+			pass.Reportf(call.Pos(),
+				"global rand.%s draws from the process-wide source, whose consumption order "+
+					"depends on goroutine scheduling; use a local rand.New(rand.NewSource("+
+					"engine.CellSeed(base, labels...)))", name)
+		case isRandPkg(fn) && !isMethod(fn) && name == "NewSource" && seededFromClock(info, call):
+			pass.Reportf(call.Pos(),
+				"RNG seeded from the wall clock; seeds must come from configuration via "+
+					"engine.CellSeed so runs are reproducible")
+		}
+		return true
+	})
+	return nil
+}
+
+func isRandPkg(fn *types.Func) bool {
+	return fromPkg(fn, "math/rand") || fromPkg(fn, "math/rand/v2")
+}
+
+// seededFromClock reports whether the call's arguments contain a time.Now
+// call anywhere in their subtree — the rand.NewSource(time.Now().UnixNano())
+// idiom.
+func seededFromClock(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		clock := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := callee(info, inner); fn != nil && fromPkg(fn, "time") && fn.Name() == "Now" {
+				clock = true
+			}
+			return !clock
+		})
+		if clock {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ken/internal/lint/driver"
+)
+
+// ObsHandle enforces the two handle rules of docs/OBSERVABILITY.md's nil
+// fast path. First, metric handles are resolved once at construction time:
+// a Registry.Counter/Gauge/Histogram/Timer lookup inside a loop re-takes
+// the registry mutex and re-hashes the name on every iteration, defeating
+// the "instrumentation must cost nothing" design (and a lookup per
+// iteration is how accidental per-step metric families get minted).
+// Second, handles are already nil-safe, so guarding a call site with
+// `if h != nil` re-introduces the branch the design removed — call the
+// handle unconditionally. (Tracer nil checks are sanctioned — trace
+// emission sites guard to avoid building event payloads — and the obs
+// package itself is excluded since its implementation is the nil checks.)
+var ObsHandle = &driver.Analyzer{
+	Name: "obshandle",
+	Doc: "flags obs.Registry metric-handle lookups inside loops (resolve handles " +
+		"once at construction) and nil comparisons against nil-safe metric handles " +
+		"(*obs.Counter/Gauge/Histogram/Timer — call them unconditionally)",
+	Scope: driver.ScopeNot("internal/obs"),
+	Run:   runObsHandle,
+}
+
+// registryLookupNames are the handle-minting methods of *obs.Registry.
+var registryLookupNames = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Timer": true,
+}
+
+// nilSafeHandleNames are the obs types whose methods are nil-safe and
+// which therefore must not be nil-guarded at call sites. Tracer and
+// Observer are deliberately absent (see the analyzer doc).
+var nilSafeHandleNames = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Timer": true,
+}
+
+func runObsHandle(pass *driver.Pass) error {
+	info := pass.Pkg.Info
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			flagLookupsIn(pass, info, n.Body)
+		case *ast.RangeStmt:
+			flagLookupsIn(pass, info, n.Body)
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			var other ast.Expr
+			switch {
+			case isNilIdent(info, n.X):
+				other = n.Y
+			case isNilIdent(info, n.Y):
+				other = n.X
+			default:
+				return true
+			}
+			if name, ok := obsHandleType(info.TypeOf(other)); ok {
+				pass.Reportf(n.Pos(),
+					"nil check on *obs.%s: handles are nil-safe, call them unconditionally "+
+						"(docs/OBSERVABILITY.md, nil fast path)", name)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// flagLookupsIn reports registry handle lookups inside a loop body.
+// Nested loops revisit inner statements; report positions de-duplicate in
+// the driver only across ignore filtering, so descend into nested function
+// literals and loops exactly once from the outermost loop.
+func flagLookupsIn(pass *driver.Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			// The walk that reaches this inner loop's enclosing statement
+			// already covers its body; skipping here keeps one report per
+			// call site.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callee(info, call)
+		if fn == nil || !isMethod(fn) || !fromPkg(fn, "internal/obs") || !registryLookupNames[fn.Name()] {
+			return true
+		}
+		recv := fn.Type().(*types.Signature).Recv().Type()
+		if name, _ := namedPointee(recv); name == "Registry" {
+			pass.Reportf(call.Pos(),
+				"Registry.%s lookup inside a loop: resolve metric handles once at "+
+					"construction time (docs/OBSERVABILITY.md, nil fast path)", fn.Name())
+		}
+		return true
+	})
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// obsHandleType reports whether t is a pointer to one of the nil-safe
+// obs handle types, returning the type name.
+func obsHandleType(t types.Type) (string, bool) {
+	name, pkg := namedPointee(t)
+	if pkg == nil || !nilSafeHandleNames[name] {
+		return "", false
+	}
+	p := pkg.Path()
+	if p == "internal/obs" || strings.HasSuffix(p, "/internal/obs") {
+		return name, true
+	}
+	return "", false
+}
+
+// namedPointee unwraps *Named and returns the named type's name and
+// package ("" / nil when t is not a pointer to a named type).
+func namedPointee(t types.Type) (string, *types.Package) {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return "", nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return "", nil
+	}
+	return named.Obj().Name(), named.Obj().Pkg()
+}

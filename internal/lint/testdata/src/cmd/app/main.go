@@ -1,0 +1,38 @@
+// Command app is a kenlint fixture: a cmd/-scoped package for the errwire
+// analyzer, where io/bufio/flag error discards are flagged on top of the
+// everywhere-scoped wire checks.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"io"
+	"os"
+
+	"ken/internal/wire"
+)
+
+func main() {
+	frame := wire.Frame{Step: 1, Attrs: []int{0}, Values: []float64{1.5}}
+
+	wire.Encode(frame, 0.1) // want `discarded error from wire\.Encode`
+
+	buf, err := wire.Encode(frame, 0.1) // handled: fine
+	if err != nil {
+		return
+	}
+	wire.Decode(buf, 0.1)        // want `discarded error from wire\.Decode`
+	_, _ = wire.Decode(buf, 0.1) // explicit blank: the documented opt-out
+
+	w := bufio.NewWriter(os.Stdout)
+	w.Flush()       // want `discarded error from bufio\.Flush`
+	_ = w.Flush()   // explicit blank: fine
+	defer w.Flush() // want `discarded error from bufio\.Flush`
+
+	flag.Set("unknown", "1") // want `discarded error from flag\.Set`
+
+	io.Copy(io.Discard, os.Stdin) // want `discarded error from io\.Copy`
+
+	//lint:ignore errwire fixture exercising the escape hatch
+	w.Flush()
+}

@@ -1,0 +1,37 @@
+// Package bench is a kenlint fixture: it sits at the scope path
+// internal/bench, one of the deterministic packages the nondeterminism
+// analyzer patrols.
+package bench
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `wall-clock time\.Now`
+	return time.Since(start) // want `wall-clock time\.Since`
+}
+
+func globalSource() float64 {
+	rand.Seed(42)                            // want `global rand\.Seed`
+	vals := rand.Perm(10)                    // want `global rand\.Perm`
+	rand.Shuffle(10, func(int, int) {})      // want `global rand\.Shuffle`
+	return rand.Float64() + float64(vals[0]) // want `global rand\.Float64`
+}
+
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from the wall clock` `wall-clock time\.Now`
+}
+
+// configSeeded is the approved pattern: the seed arrives from
+// configuration and the generator is local.
+func configSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() // methods on a local *rand.Rand are fine
+}
+
+func suppressed() time.Time {
+	//lint:ignore nondeterminism fixture exercising the escape hatch
+	return time.Now()
+}

@@ -1,0 +1,40 @@
+// Package stats is a kenlint fixture at scope path internal/stats, inside
+// the floateq analyzer's numerical-kernel scope.
+package stats
+
+import "math"
+
+func exactEquality(a, b float64) bool {
+	return a == b // want `floating-point == compares for exact equality`
+}
+
+func exactInequality(a float32, b float64) bool {
+	return float64(a) != b // want `floating-point != compares for exact equality`
+}
+
+func chained(a, b, c float64) bool {
+	return a == b || b == c // want `floating-point ==` `floating-point ==`
+}
+
+// nanCheck uses the idiomatic self-comparison NaN test, which is exact on
+// purpose and never flagged.
+func nanCheck(v float64) bool {
+	return v != v
+}
+
+//lint:comparator tolerance helper — the one place exact comparison lives
+func eqTol(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func integersAreFine(a, b int) bool {
+	return a == b
+}
+
+func sentinel(v float64) bool {
+	//lint:ignore floateq zero is an exact sentinel here, not a computed value
+	return v == 0
+}

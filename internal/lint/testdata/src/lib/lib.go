@@ -1,0 +1,14 @@
+// Package lib is a kenlint fixture: a library (non-cmd) package where
+// errwire flags wire discards but leaves io/bufio/flag discards alone.
+package lib
+
+import (
+	"bufio"
+
+	"ken/internal/wire"
+)
+
+func encode(f wire.Frame, w *bufio.Writer) {
+	wire.Encode(f, 0.5) // want `discarded error from wire\.Encode`
+	w.Flush()           // io/bufio discards are only flagged under cmd/
+}

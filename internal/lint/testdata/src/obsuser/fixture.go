@@ -1,0 +1,47 @@
+// Package obsuser is a kenlint fixture for the obshandle analyzer: an
+// instrumented package outside internal/obs itself.
+package obsuser
+
+import "ken/internal/obs"
+
+func lookupInLoop(reg *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		reg.Counter("steps_total").Inc() // want `Registry\.Counter lookup inside a loop`
+	}
+	for range make(map[int]bool) {
+		reg.Timer("cell_seconds").Observe(0) // want `Registry\.Timer lookup inside a loop`
+	}
+}
+
+// resolveOnce is the approved pattern: handles resolved at construction,
+// called unconditionally on the hot path.
+func resolveOnce(reg *obs.Registry, n int) *obs.Counter {
+	c := reg.Counter("ok_total")
+	for i := 0; i < n; i++ {
+		c.Inc()
+	}
+	return c
+}
+
+func nilGuards(c *obs.Counter, g *obs.Gauge, h *obs.Histogram, t *obs.Timer) {
+	if c != nil { // want `nil check on \*obs\.Counter`
+		c.Inc()
+	}
+	if g == nil { // want `nil check on \*obs\.Gauge`
+		return
+	}
+	if h != nil { // want `nil check on \*obs\.Histogram`
+		h.Observe(1)
+	}
+	if nil != t { // want `nil check on \*obs\.Timer`
+		_ = t.Snapshot()
+	}
+}
+
+// tracerGuard is sanctioned: trace emission sites nil-check the tracer to
+// avoid building event payloads (docs/OBSERVABILITY.md).
+func tracerGuard(tr *obs.Tracer) {
+	if tr != nil {
+		_ = tr
+	}
+}

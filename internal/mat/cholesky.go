@@ -29,7 +29,7 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 	// Retry with escalating jitter: covariance matrices assembled from
 	// finite samples are often PSD-but-not-PD.
 	scale := a.MaxAbs()
-	if scale == 0 {
+	if isZero(scale) {
 		scale = 1
 	}
 	for _, eps := range []float64{1e-12, 1e-10, 1e-8} {

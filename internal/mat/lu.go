@@ -36,7 +36,7 @@ func NewLU(a *Dense) (*LU, error) {
 				max, p = a, i
 			}
 		}
-		if max == 0 {
+		if isZero(max) {
 			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
 		}
 		if p != k {

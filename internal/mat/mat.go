@@ -195,7 +195,7 @@ func (m *Dense) Mul(b *Dense) (*Dense, error) {
 		mi := m.data[i*m.cols : (i+1)*m.cols]
 		oi := out.data[i*out.cols : (i+1)*out.cols]
 		for k, mik := range mi {
-			if mik == 0 {
+			if isZero(mik) {
 				continue
 			}
 			bk := b.data[k*b.cols : (k+1)*b.cols]
@@ -293,3 +293,11 @@ func (m *Dense) String() string {
 	}
 	return sb.String()
 }
+
+// isZero reports exact equality with zero. Degenerate-input guards are the
+// one place exact float comparison is right: any nonzero value, however
+// tiny, is a usable divisor, while a true zero means the computation is
+// undefined and must take the fallback path.
+//
+//lint:comparator exact zero sentinel backing division and pivot guards
+func isZero(v float64) bool { return v == 0 }

@@ -241,6 +241,22 @@ func (t *Timer) Observe(d time.Duration) {
 	t.h.Observe(d.Seconds())
 }
 
+// noopStop is the shared stop function handed out by nil timers, so the
+// nil fast path stays allocation-free.
+var noopStop = func() {}
+
+// Start reads the wall clock and returns a stop function that records the
+// elapsed time; it keeps clock access inside obs so deterministic packages
+// can time their work without touching time.Now themselves (the kenlint
+// nondeterminism invariant). A nil timer returns a shared no-op stop.
+func (t *Timer) Start() func() {
+	if t == nil {
+		return noopStop
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
 // Snapshot exposes the underlying histogram (seconds).
 func (t *Timer) Snapshot() HistSnapshot {
 	if t == nil {

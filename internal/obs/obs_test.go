@@ -195,6 +195,7 @@ func TestNilFastPathAllocatesNothing(t *testing.T) {
 		g.Add(1)
 		h.Observe(3)
 		tm.Observe(time.Millisecond)
+		tm.Start()()
 		tr.Emit(ev)
 	})
 	if allocs != 0 {
@@ -230,4 +231,24 @@ func BenchmarkLiveHistogram(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h.Observe(float64(i % 1000))
 	}
+}
+
+// TestTimerStartRecordsElapsed covers the Start/stop pair engine cells
+// time themselves with: one observation lands, and it measures at least
+// the slept interval.
+func TestTimerStartRecordsElapsed(t *testing.T) {
+	reg := obs.NewRegistry()
+	tm := reg.Timer("t")
+	stop := tm.Start()
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	s := tm.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	if s.Sum < 0.002 {
+		t.Fatalf("sum = %v s, want >= 2ms", s.Sum)
+	}
+	var nilTimer *obs.Timer
+	nilTimer.Start()() // must not panic and must not record anywhere
 }

