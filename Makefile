@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint fmt-check test race cover bench bench-smoke figures examples fuzz clean
+.PHONY: all check build vet lint fmt-check test race cover bench bench-smoke audit-smoke figures examples fuzz clean
 
 all: build test
 
@@ -45,6 +45,23 @@ bench:
 # Fast end-to-end pass over every figure on the parallel engine.
 bench-smoke:
 	$(GO) run ./cmd/kenbench -all -quick -parallel 8
+
+# audit-smoke proves the protocol invariants on real traces: a kensim lab
+# comparison and the quick benchmark suite at pool widths 1 and 8, each
+# replayed through kenaudit -strict (ε bound, no silent divergence, byte
+# accounting). The two kenbench audit reports must be byte-identical —
+# parallel scheduling may reorder trace lines but never the audited facts.
+# See docs/OBSERVABILITY.md.
+audit-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/kensim -dataset lab -scheme all -parallel 4 -test 300 -trace-out "$$tmp/kensim.jsonl" >/dev/null && \
+	$(GO) run ./cmd/kenaudit -trace "$$tmp/kensim.jsonl" -strict -q && \
+	$(GO) run ./cmd/kenbench -all -quick -parallel 1 -trace-out "$$tmp/seq.jsonl" >/dev/null && \
+	$(GO) run ./cmd/kenbench -all -quick -parallel 8 -trace-out "$$tmp/par.jsonl" >/dev/null && \
+	$(GO) run ./cmd/kenaudit -trace "$$tmp/seq.jsonl" -strict -q -json "$$tmp/seq.json" && \
+	$(GO) run ./cmd/kenaudit -trace "$$tmp/par.jsonl" -strict -q -json "$$tmp/par.json" && \
+	cmp "$$tmp/seq.json" "$$tmp/par.json" && \
+	echo "audit-smoke: PASS (traces audit clean; parallel report == sequential report)"
 
 # Regenerate every figure of the paper plus the extension/sweep tables.
 figures:

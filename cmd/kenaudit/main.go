@@ -1,0 +1,88 @@
+// Command kenaudit replays a JSONL protocol trace (written by the
+// pipeline's -trace-out flag) and verifies the Ken invariants offline:
+// the ε-guarantee, silent replica divergence, and byte accounting. It
+// also rolls up per-node / per-clique / per-link communication and a
+// first-order radio energy estimate.
+//
+// Usage:
+//
+//	kenaudit -trace run.jsonl                 # markdown summary to stdout
+//	kenaudit -trace run.jsonl -json report.json
+//	kenaudit -trace run.jsonl -strict         # exit 1 on any violation
+//	kenbench ... -trace-out - | kenaudit -trace -   # read stdin
+//
+// The report is deterministic: auditing a kenbench -parallel trace yields
+// a byte-identical report to its sequential twin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ken/internal/audit"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "JSONL trace to audit (\"-\" for stdin)")
+	jsonOut := flag.String("json", "", "also write the machine-readable JSON report to this file (\"-\" for stdout)")
+	noMD := flag.Bool("q", false, "suppress the markdown summary")
+	strict := flag.Bool("strict", false, "exit nonzero when any invariant is violated")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "kenaudit: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if *tracePath != "-" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	rep, err := audit.AuditTrace(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut != "" {
+		var out io.Writer = os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			fatal(err)
+		}
+	}
+	if !*noMD {
+		if err := rep.WriteMarkdown(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if !rep.Clean() {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "kenaudit: VIOLATION %s\n", v.String())
+		}
+		if *strict {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kenaudit: %v\n", err)
+	os.Exit(2)
+}

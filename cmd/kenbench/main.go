@@ -10,6 +10,7 @@
 //	kenbench -all -parallel 8    # run each figure's cells on 8 workers
 //	kenbench -all -metrics-out m.json   # final metrics snapshot alongside results
 //	kenbench -all -obs-addr :8080       # live /metrics + pprof while regenerating
+//	kenbench -fig 9 -trace-out t.jsonl  # protocol trace for kenaudit
 //
 // Figures run one at a time (so output streams incrementally), but within a
 // figure the independent cells — one scheme/config/row each — execute on the
@@ -66,26 +67,18 @@ func main() {
 	test := flag.Int("test", 1500, "test steps (hours); the paper uses 5000")
 	parallel := flag.Int("parallel", 0, "worker pool width for experiment cells (0 = GOMAXPROCS, 1 = sequential)")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot JSON to this file ('-' for stdout)")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while regenerating (empty = off)")
-	var logFlags obs.LogFlags
-	logFlags.Register(flag.CommandLine)
+	var of obs.CmdFlags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
-	if _, err := logFlags.Setup(nil); err != nil {
+	ob, cleanup, err := of.Setup()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "kenbench: %v\n", err)
 		os.Exit(2)
 	}
+	defer cleanup()
 
-	reg := obs.NewRegistry()
-	if *obsAddr != "" {
-		_, bound, err := obs.Serve(*obsAddr, reg)
-		if err != nil {
-			slog.Error("observability endpoint", "err", err)
-			os.Exit(1)
-		}
-		slog.Info("observability endpoint up", "addr", bound.String(),
-			"paths", "/metrics /debug/vars /debug/pprof/")
-	}
+	reg := ob.Reg
 	mFigures := reg.Counter("kenbench_figures_total")
 	mErrors := reg.Counter("kenbench_errors_total")
 	tFigure := reg.Timer("kenbench_figure_seconds")
@@ -95,6 +88,7 @@ func main() {
 		cfg = bench.Quick()
 		cfg.Seed = *seed
 	}
+	cfg.Obs = ob
 
 	if !*all && *fig == 0 {
 		fmt.Fprintln(os.Stderr, "kenbench: pass -fig N or -all")
@@ -108,7 +102,7 @@ func main() {
 	defer stop()
 	eng := engine.New(engine.Options{
 		Workers: *parallel,
-		Obs:     &obs.Observer{Reg: reg},
+		Obs:     ob,
 	})
 	slog.Debug("engine configured", "workers", eng.Workers())
 
@@ -123,6 +117,7 @@ func main() {
 		if err != nil {
 			mErrors.Inc()
 			slog.Error("figure regeneration failed", "figure", r.num, "err", err)
+			cleanup()
 			os.Exit(1)
 		}
 		elapsed := time.Since(start)
@@ -136,6 +131,7 @@ func main() {
 		}
 		if _, err := write(os.Stdout); err != nil {
 			slog.Error("writing table failed", "err", err)
+			cleanup()
 			os.Exit(1)
 		}
 		fmt.Printf("(figure %d regenerated in %v)\n\n", r.num, elapsed.Round(time.Millisecond))
@@ -147,6 +143,7 @@ func main() {
 	if *metricsOut != "" {
 		if err := writeSnapshot(*metricsOut, reg); err != nil {
 			slog.Error("writing metrics snapshot failed", "err", err)
+			cleanup()
 			os.Exit(1)
 		}
 	}

@@ -35,45 +35,17 @@ func main() {
 	battery := flag.Float64("battery", 0.35, "battery Joules per node")
 	loss := flag.Float64("loss", 0, "per-hop message loss probability")
 	k := flag.Int("k", 2, "clique size for the ken program (adjacent pairs when 2)")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run (empty = off)")
-	traceOut := flag.String("trace-out", "", "write protocol event JSONL (epochs, node failures) to this file")
-	var logFlags obs.LogFlags
-	logFlags.Register(flag.CommandLine)
+	var of obs.CmdFlags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
-	if _, err := logFlags.Setup(nil); err != nil {
+	ob, cleanup, err := of.Setup()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "kennet: %v\n", err)
 		os.Exit(2)
 	}
-	ob := &obs.Observer{Reg: obs.NewRegistry()}
-	var traceFile *os.File
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			slog.Error("trace sink", "err", err)
-			os.Exit(1)
-		}
-		traceFile = f
-		ob.Trace = obs.NewTracer(f)
-	}
-	if *obsAddr != "" {
-		_, bound, err := obs.Serve(*obsAddr, ob.Reg)
-		if err != nil {
-			slog.Error("observability endpoint", "err", err)
-			os.Exit(1)
-		}
-		slog.Info("observability endpoint up", "addr", bound.String(),
-			"paths", "/metrics /debug/vars /debug/pprof/")
-	}
-
-	err := run(*program, *dataset, *topology, *seed, *train, *steps, *battery, *loss, *k, ob)
-	if ob.Trace != nil {
-		if ferr := ob.Trace.Flush(); ferr != nil {
-			slog.Warn("trace flush failed", "err", ferr)
-		}
-		_ = traceFile.Close()
-		slog.Info("protocol trace written", "path", *traceOut, "events", ob.Trace.Events())
-	}
+	err = run(*program, *dataset, *topology, *seed, *train, *steps, *battery, *loss, *k, ob)
+	cleanup()
 	if err != nil {
 		slog.Error("run failed", "err", err)
 		os.Exit(1)

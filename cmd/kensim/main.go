@@ -46,20 +46,14 @@ func main() {
 	heartbeat := flag.Int("heartbeat", 0, "heartbeat interval in steps under -loss (0 = none)")
 	prob := flag.Float64("prob", 0, "probabilistic-reporting steepness (djc only; 0 = deterministic)")
 	parallel := flag.Int("parallel", 0, "worker pool width for -scheme all (0 = GOMAXPROCS, 1 = sequential)")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run (empty = off)")
-	traceOut := flag.String("trace-out", "", "write protocol event JSONL (report/suppress decisions, epochs) to this file")
-	var logFlags obs.LogFlags
-	logFlags.Register(flag.CommandLine)
+	var of obs.CmdFlags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
-	if _, err := logFlags.Setup(nil); err != nil {
+	ob, cleanup, err := of.Setup()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "kensim: %v\n", err)
 		os.Exit(2)
-	}
-	ob, cleanup, err := setupObs(*obsAddr, *traceOut)
-	if err != nil {
-		slog.Error("observability setup failed", "err", err)
-		os.Exit(1)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -69,38 +63,6 @@ func main() {
 		os.Exit(1)
 	}
 	cleanup()
-}
-
-// setupObs assembles the observer from the -obs-addr / -trace-out flags.
-// The returned cleanup flushes the trace sink.
-func setupObs(addr, traceOut string) (*obs.Observer, func(), error) {
-	ob := &obs.Observer{Reg: obs.NewRegistry()}
-	cleanup := func() {}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return nil, nil, err
-		}
-		ob.Trace = obs.NewTracer(f)
-		cleanup = func() {
-			if err := ob.Trace.Flush(); err != nil {
-				slog.Warn("trace flush failed", "err", err)
-			}
-			if err := f.Close(); err != nil {
-				slog.Warn("trace close failed", "err", err)
-			}
-			slog.Info("protocol trace written", "path", traceOut, "events", ob.Trace.Events())
-		}
-	}
-	if addr != "" {
-		_, bound, err := obs.Serve(addr, ob.Reg)
-		if err != nil {
-			return nil, nil, err
-		}
-		slog.Info("observability endpoint up", "addr", bound.String(),
-			"paths", "/metrics /debug/vars /debug/pprof/")
-	}
-	return ob, cleanup, nil
 }
 
 // specFor assembles the SchemeSpec that resolves name through the core
@@ -167,7 +129,7 @@ func run(ctx context.Context, dataset, scheme string, k int, seed int64, trainN,
 	}
 
 	if scheme == "all" {
-		return compareAll(ctx, train, test, eps, k, seed, top, parallel)
+		return compareAll(ctx, train, test, eps, k, seed, top, parallel, ob)
 	}
 
 	s, err := core.Build(specFor(scheme, k, train, eps, seed, top, loss, heartbeat, prob, ob))
@@ -202,19 +164,22 @@ func run(ctx context.Context, dataset, scheme string, k int, seed int64, trainN,
 
 // compareAll runs every scheme over the same test window on the engine's
 // worker pool and prints a side-by-side table (rows come back in scheme
-// order regardless of the pool width).
-func compareAll(ctx context.Context, train, test [][]float64, eps []float64, k int, seed int64, top *network.Topology, parallel int) error {
+// order regardless of the pool width). Cells share ob's trace sink; the
+// engine scopes each cell's events by item index, so the trace audits
+// identically whatever the pool width.
+func compareAll(ctx context.Context, train, test [][]float64, eps []float64, k int, seed int64, top *network.Topology, parallel int, ob *obs.Observer) error {
 	names := []string{"tinydb", "apc", "avg"}
 	for kk := 1; kk <= k; kk++ {
 		names = append(names, fmt.Sprintf("djc%d", kk))
 	}
-	eng := engine.New(engine.Options{Workers: parallel})
+	eng := engine.New(engine.Options{Workers: parallel, Obs: ob})
+	ctx = engine.WithScope(ctx, "compare")
 	lines, err := engine.Map(ctx, eng, names, func(ctx context.Context, _ int, name string) (string, error) {
-		s, err := core.Build(specFor(name, k, train, eps, seed, top, 0, 0, 0, nil))
+		s, err := core.Build(specFor(name, k, train, eps, seed, top, 0, 0, 0, ob))
 		if err != nil {
 			return "", fmt.Errorf("%s: %w", name, err)
 		}
-		res, err := core.Run(ctx, s, test, core.RunOptions{Eps: eps})
+		res, err := core.Run(ctx, s, test, core.RunOptions{Eps: eps, Observer: ob, Scope: engine.Scope(ctx)})
 		if err != nil {
 			return "", fmt.Errorf("%s: %w", name, err)
 		}

@@ -30,19 +30,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	summary := flag.Bool("summary", false, "print a summary instead of CSV")
 	diagnose := flag.Bool("diagnose", false, "print model-selection diagnostics instead of CSV")
-	var logFlags obs.LogFlags
-	logFlags.Register(flag.CommandLine)
+	var of obs.CmdFlags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
-	if _, err := logFlags.Setup(nil); err != nil {
+	// kentrace emits no protocol events of its own, but it carries the
+	// uniform observability flag block: -obs-addr serves generator metrics
+	// and -trace-out writes a valid (header-only) trace.
+	_, cleanup, err := of.Setup()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "kentrace: %v\n", err)
 		os.Exit(2)
 	}
+	defer cleanup()
 
-	var (
-		tr  *trace.Trace
-		err error
-	)
+	var tr *trace.Trace
 	switch *dataset {
 	case "garden":
 		tr, err = trace.GenerateGarden(*seed, *steps)

@@ -1,0 +1,704 @@
+// Package audit replays a JSONL protocol trace offline and verifies the
+// invariants the Ken pipeline claims at runtime — the audit trail that
+// makes the paper's headline guarantee ("every sink-reported value is
+// within ε of ground truth regardless of model quality", §1/§3)
+// checkable after the fact instead of taken on faith.
+//
+// The auditor groups events by scope (concurrent engine cells write
+// disjoint scopes into one file), splits each scope at run_end boundaries
+// into segments (one segment per core.Run replay, or one open-ended
+// segment for simnet/stream traces), and checks three invariants per
+// segment:
+//
+//  1. ε-bound — every epoch_end audit triple (pred, obs, ε) stays within
+//     bounds; for replay segments the audited miss count must equal the
+//     violations the run itself declared in run_end, so an out-of-ε value
+//     injected into the trace is caught even when the run was lossy or
+//     probabilistic and legitimately recorded misses.
+//  2. silent divergence — every value a source reported is either applied
+//     at the sink (sink_apply in the report span's subtree) or visibly
+//     lost (net_drop); applies happen at the report's step; per-clique
+//     apply steps never regress. Replicas may diverge under loss, but
+//     never silently.
+//  3. byte accounting — per-epoch bytes sum to the run_end totals, as do
+//     values and steps, and the report events inside an epoch account for
+//     exactly the epoch's bytes.
+//
+// On top of the invariants the auditor rolls up per-node, per-clique and
+// per-link communication (messages, bytes, and a first-order energy
+// estimate priced by simnet's radio cost model) plus epoch histograms —
+// values, bytes, and latency when the trace carries wall-clock stamps.
+//
+// Everything in the Report is deterministic: raw span ids never appear
+// (they depend on goroutine interleaving), scopes and keys are sorted,
+// and integer byte totals are converted to energy only at the end — so a
+// kenbench -parallel trace audits to a byte-identical report as its
+// sequential twin.
+package audit
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"ken/internal/obs"
+	"ken/internal/simnet"
+)
+
+// Invariant names as they appear in Violation.Invariant.
+const (
+	InvEpsilon    = "epsilon-bound"
+	InvDivergence = "silent-divergence"
+	InvBytes      = "byte-accounting"
+)
+
+// epsSlack mirrors core.Run's audit tolerance.
+const epsSlack = 1e-9
+
+// Violation is one invariant breach, located as precisely as the trace
+// allows. Epoch is the epoch's ordinal within its segment (not the raw
+// span id, which is not stable across runs); Clique and Node are -1 when
+// not applicable.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Scope     string `json:"scope"`
+	Segment   int    `json:"segment"`
+	Epoch     int    `json:"epoch"`
+	Step      int64  `json:"step"`
+	Clique    int    `json:"clique"`
+	Node      int    `json:"node"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: scope %q segment %d epoch %d step %d clique %d node %d: %s",
+		v.Invariant, v.Scope, v.Segment, v.Epoch, v.Step, v.Clique, v.Node, v.Detail)
+}
+
+// RunTotals are the declared totals of one run_end event.
+type RunTotals struct {
+	Steps      int `json:"steps"`
+	Values     int `json:"values"`
+	Violations int `json:"violations"`
+	Bytes      int `json:"bytes"`
+}
+
+// SegmentReport summarises one audited segment (one core.Run replay, or
+// one open-ended simnet/stream trace).
+type SegmentReport struct {
+	Scheme       string     `json:"scheme,omitempty"`
+	Epochs       int        `json:"epochs"`
+	Values       int        `json:"values"`
+	Bytes        int        `json:"bytes"`
+	EpsilonMiss  int        `json:"epsilon_misses"`
+	Declared     *RunTotals `json:"declared,omitempty"`
+	ViolationIdx []int      `json:"violations,omitempty"` // indices into Report.Violations
+}
+
+// ScopeReport groups a scope's segments.
+type ScopeReport struct {
+	Scope    string          `json:"scope"`
+	Segments []SegmentReport `json:"segments"`
+}
+
+// NodeStats is the per-node communication/energy rollup.
+type NodeStats struct {
+	Node       int     `json:"node"`
+	TxMessages int     `json:"tx_messages"`
+	TxBytes    int     `json:"tx_bytes"`
+	RxBytes    int     `json:"rx_bytes"`
+	Reports    int     `json:"reports"`
+	Values     int     `json:"values"`
+	Suppressed int     `json:"suppressed"`
+	Pulls      int     `json:"pulls"`
+	Suspected  int     `json:"suspected,omitempty"`
+	Died       bool    `json:"died,omitempty"`
+	EnergyJ    float64 `json:"energy_j"`
+}
+
+// CliqueStats is the per-clique protocol rollup.
+type CliqueStats struct {
+	Clique     int `json:"clique"`
+	Reports    int `json:"reports"`
+	Values     int `json:"values"`
+	Suppressed int `json:"suppressed"`
+	Applied    int `json:"applied"`
+	Dropped    int `json:"dropped"`
+	Bytes      int `json:"bytes"`
+}
+
+// LinkStats is the per-link radio rollup.
+type LinkStats struct {
+	From     int `json:"from"`
+	To       int `json:"to"`
+	Messages int `json:"messages"`
+	Bytes    int `json:"bytes"`
+}
+
+// Report is the auditor's full output. WriteJSON and WriteMarkdown render
+// it; everything is deterministically ordered.
+type Report struct {
+	Events       int               `json:"events"`
+	Epochs       int               `json:"epochs"`
+	Violations   []Violation       `json:"violations"`
+	Scopes       []ScopeReport     `json:"scopes"`
+	Nodes        []NodeStats       `json:"nodes,omitempty"`
+	Cliques      []CliqueStats     `json:"cliques,omitempty"`
+	Links        []LinkStats       `json:"links,omitempty"`
+	EpochValues  obs.HistSnapshot  `json:"epoch_values"`
+	EpochBytes   obs.HistSnapshot  `json:"epoch_bytes"`
+	EpochLatency *obs.HistSnapshot `json:"epoch_latency_seconds,omitempty"`
+	PayloadBytes int               `json:"payload_bytes"`
+	LinkBytes    int               `json:"link_bytes"`
+	TotalEnergyJ float64           `json:"total_energy_j"`
+}
+
+// Clean reports whether no invariant was violated.
+func (r *Report) Clean() bool { return len(r.Violations) == 0 }
+
+// Auditor verifies a trace. The zero value prices energy with
+// simnet.DefaultRadio().
+type Auditor struct {
+	// Radio prices the first-order energy estimate of the per-node rollup
+	// (Joules = TxPerByte·tx + RxPerByte·rx). Nil uses simnet.DefaultRadio().
+	Radio *simnet.Radio
+}
+
+// Audit verifies the invariants over a decoded event stream and builds
+// the rollups. It never fails — problems become Violations in the report.
+func (a *Auditor) Audit(events []obs.Event) *Report {
+	rep := &Report{Events: len(events), Violations: []Violation{}}
+
+	// Group by scope, preserving file order inside each scope: a scope is
+	// written by one goroutine, so file order is program order there, while
+	// cross-scope interleaving depends on scheduling and must not matter.
+	byScope := map[string][]obs.Event{}
+	var scopes []string
+	for _, e := range events {
+		if _, ok := byScope[e.Scope]; !ok {
+			scopes = append(scopes, e.Scope)
+		}
+		byScope[e.Scope] = append(byScope[e.Scope], e)
+	}
+	sort.Strings(scopes)
+
+	reg := obs.NewRegistry()
+	h := &hists{
+		values:  reg.Histogram("epoch_values"),
+		bytes:   reg.Histogram("epoch_bytes"),
+		latency: reg.Histogram("epoch_latency_seconds"),
+	}
+
+	for _, scope := range scopes {
+		sr := ScopeReport{Scope: scope}
+		for segIdx, seg := range splitSegments(byScope[scope]) {
+			sr.Segments = append(sr.Segments, a.auditSegment(scope, segIdx, seg, rep, h))
+		}
+		rep.Scopes = append(rep.Scopes, sr)
+	}
+
+	a.rollup(scopes, byScope, rep)
+
+	rep.EpochValues = h.values.Snapshot()
+	rep.EpochBytes = h.bytes.Snapshot()
+	if h.sawLatency {
+		s := h.latency.Snapshot()
+		rep.EpochLatency = &s
+	}
+	return rep
+}
+
+// Audit runs a zero-value Auditor over the events.
+func Audit(events []obs.Event) *Report { return (&Auditor{}).Audit(events) }
+
+// AuditTrace reads a JSONL trace (via obs.ReadEvents, so unknown schema
+// versions are rejected) and audits it.
+func AuditTrace(r io.Reader) (*Report, error) {
+	events, err := obs.ReadEvents(r)
+	if err != nil {
+		return nil, err
+	}
+	return Audit(events), nil
+}
+
+type hists struct {
+	values, bytes, latency *obs.Histogram
+	sawLatency             bool
+}
+
+// splitSegments cuts a scope's event stream at run_end boundaries (the
+// run_end closes the segment it belongs to). Trailing events with no
+// run_end form one open-ended segment.
+func splitSegments(events []obs.Event) [][]obs.Event {
+	var out [][]obs.Event
+	start := 0
+	for i := range events {
+		if events[i].Type == obs.EvRunEnd {
+			out = append(out, events[start:i+1])
+			start = i + 1
+		}
+	}
+	if start < len(events) {
+		out = append(out, events[start:])
+	}
+	return out
+}
+
+// epochRec is one epoch's audit state inside a segment.
+type epochRec struct {
+	id          int64
+	ord         int
+	step        int64
+	detail      string
+	n           int
+	bytes       int
+	end         *obs.Event
+	startTS     int64
+	endTS       int64
+	reportBytes int
+	hasReports  bool
+}
+
+// reportRec tracks the causal tail of one report span.
+type reportRec struct {
+	ev        *obs.Event
+	epochOrd  int
+	applied   map[int]bool
+	dropped   map[int]bool
+	blindDrop bool // a drop without attribute info covers the whole report
+}
+
+// epsMiss is one audited out-of-ε reading.
+type epsMiss struct {
+	epochOrd int
+	step     int64
+	node     int
+	detail   string
+}
+
+// auditSegment checks the three invariants over one segment, appending
+// violations to rep and returning the segment summary.
+func (a *Auditor) auditSegment(scope string, segIdx int, events []obs.Event, rep *Report, h *hists) SegmentReport {
+	var epochs []*epochRec
+	byID := map[int64]*epochRec{}
+	parentOf := map[int64]int64{}
+	var reports []*reportRec
+	reportBySpan := map[int64]*reportRec{}
+	var runEnd *obs.Event
+	spannedApplies := false
+	watermark := map[int]int64{}
+	var failSteps []int64 // steps with recorded loss or node death
+
+	violate := func(v Violation) {
+		v.Scope, v.Segment = scope, segIdx
+		rep.Violations = append(rep.Violations, v)
+	}
+	startLen := len(rep.Violations)
+
+	epochOrd := func(id int64) int {
+		if er := byID[id]; er != nil {
+			return er.ord
+		}
+		return -1
+	}
+
+	for i := range events {
+		e := &events[i]
+		if e.Span != 0 {
+			parentOf[e.Span] = e.Parent
+		}
+		switch e.Type {
+		case obs.EvEpochStart:
+			er := &epochRec{id: e.Span, ord: len(epochs), step: e.Step, detail: e.Detail, startTS: e.TS}
+			epochs = append(epochs, er)
+			if e.Span != 0 {
+				byID[e.Span] = er
+			}
+		case obs.EvEpochEnd:
+			if er := byID[e.Epoch]; er != nil {
+				er.end = e
+				er.n = e.N
+				er.endTS = e.TS
+				if e.Payload != nil {
+					er.bytes = e.Payload.Bytes
+				}
+			}
+		case obs.EvReport:
+			rr := &reportRec{ev: e, epochOrd: epochOrd(e.Epoch), applied: map[int]bool{}, dropped: map[int]bool{}}
+			reports = append(reports, rr)
+			if e.Span != 0 {
+				reportBySpan[e.Span] = rr
+			}
+			if er := byID[e.Epoch]; er != nil {
+				er.hasReports = true
+				if e.Payload != nil {
+					er.reportBytes += e.Payload.Bytes
+				}
+			}
+		case obs.EvApply:
+			if e.Parent != 0 {
+				spannedApplies = true
+			}
+			if e.Clique >= 0 {
+				if last, ok := watermark[e.Clique]; ok && e.Step < last {
+					violate(Violation{Invariant: InvDivergence, Epoch: epochOrd(e.Epoch),
+						Step: e.Step, Clique: e.Clique, Node: e.Node,
+						Detail: fmt.Sprintf("sink apply step %d regresses below clique watermark %d", e.Step, last)})
+				} else {
+					watermark[e.Clique] = e.Step
+				}
+			}
+			if rr := reportFor(reportBySpan, parentOf, e.Parent); rr != nil {
+				for _, attr := range e.Attrs {
+					rr.applied[attr] = true
+				}
+				if e.Step != rr.ev.Step {
+					violate(Violation{Invariant: InvDivergence, Epoch: epochOrd(e.Epoch),
+						Step: e.Step, Clique: e.Clique, Node: e.Node,
+						Detail: fmt.Sprintf("sink applied at step %d a report from step %d", e.Step, rr.ev.Step)})
+				}
+			}
+		case obs.EvDrop:
+			failSteps = append(failSteps, e.Step)
+			if rr := reportFor(reportBySpan, parentOf, e.Parent); rr != nil {
+				if len(e.Attrs) == 0 {
+					rr.blindDrop = true
+				}
+				for _, attr := range e.Attrs {
+					rr.dropped[attr] = true
+				}
+			}
+		case obs.EvNodeFailure:
+			failSteps = append(failSteps, e.Step)
+		case obs.EvRunEnd:
+			runEnd = e
+		}
+	}
+
+	// Invariant 1 — ε-bound. Collect audited misses from the epoch audit
+	// triples, then reconcile with the run's own count when one exists.
+	var misses []epsMiss
+	for _, er := range epochs {
+		if er.end == nil || er.end.Payload == nil {
+			continue
+		}
+		p := er.end.Payload
+		if len(p.Eps) == 0 {
+			continue // run audited without an ε contract; nothing to hold it to
+		}
+		if len(p.Predicted) != len(p.Observed) || len(p.Eps) != len(p.Observed) {
+			violate(Violation{Invariant: InvEpsilon, Epoch: er.ord, Step: er.step, Clique: -1, Node: -1,
+				Detail: fmt.Sprintf("malformed audit triple: %d predicted, %d observed, %d eps",
+					len(p.Predicted), len(p.Observed), len(p.Eps))})
+			continue
+		}
+		for i := range p.Observed {
+			if d := math.Abs(p.Predicted[i] - p.Observed[i]); d > p.Eps[i]+epsSlack {
+				misses = append(misses, epsMiss{epochOrd: er.ord, step: er.step, node: i,
+					detail: fmt.Sprintf("estimate %g misses truth %g by %g > ε %g",
+						p.Predicted[i], p.Observed[i], d, p.Eps[i])})
+			}
+		}
+	}
+	var declared *RunTotals
+	if runEnd != nil && runEnd.Payload != nil {
+		declared = &RunTotals{
+			Steps: runEnd.Payload.Steps, Values: runEnd.Payload.Values,
+			Violations: runEnd.Payload.Violations, Bytes: runEnd.Payload.Bytes,
+		}
+	}
+	switch {
+	case declared != nil && len(misses) != declared.Violations:
+		// The trace and the run disagree about how often ε was missed —
+		// either the payloads were tampered with or the sink lied.
+		if declared.Violations == 0 {
+			for _, m := range misses {
+				violate(Violation{Invariant: InvEpsilon, Epoch: m.epochOrd, Step: m.step,
+					Clique: -1, Node: m.node, Detail: m.detail})
+			}
+		} else {
+			v := Violation{Invariant: InvEpsilon, Epoch: -1, Step: -1, Clique: -1, Node: -1,
+				Detail: fmt.Sprintf("trace shows %d ε misses but run_end declares %d", len(misses), declared.Violations)}
+			if len(misses) > 0 {
+				m := misses[0]
+				v.Epoch, v.Step, v.Node = m.epochOrd, m.step, m.node
+			}
+			violate(v)
+		}
+	case declared == nil:
+		// Open-ended segment (simnet/stream): a miss is legitimate only
+		// when the trace shows a cause — message loss or a node death at or
+		// before the epoch. A miss on a clean network is a broken guarantee.
+		for _, m := range misses {
+			if !excused(failSteps, m.step) {
+				violate(Violation{Invariant: InvEpsilon, Epoch: m.epochOrd, Step: m.step,
+					Clique: -1, Node: m.node, Detail: m.detail})
+			}
+		}
+	}
+
+	// Invariant 2 — silent divergence. Only meaningful when the pipeline
+	// traces span-linked sink applies at all (a source-only stream trace
+	// has reports with no visible sink).
+	if spannedApplies {
+		for _, rr := range reports {
+			if rr.ev.Span == 0 {
+				continue
+			}
+			for _, attr := range rr.ev.Attrs {
+				if !rr.applied[attr] && !rr.dropped[attr] && !rr.blindDrop {
+					violate(Violation{Invariant: InvDivergence, Epoch: rr.epochOrd, Step: rr.ev.Step,
+						Clique: rr.ev.Clique, Node: rr.ev.Node,
+						Detail: fmt.Sprintf("reported attribute %d has neither a sink apply nor a recorded drop", attr)})
+				}
+			}
+			for _, attr := range sortedIntKeys(rr.applied) {
+				if !containsInt(rr.ev.Attrs, attr) {
+					violate(Violation{Invariant: InvDivergence, Epoch: rr.epochOrd, Step: rr.ev.Step,
+						Clique: rr.ev.Clique, Node: rr.ev.Node,
+						Detail: fmt.Sprintf("sink applied attribute %d that was never reported", attr)})
+				}
+			}
+		}
+	}
+
+	// Invariant 3 — byte accounting, reconciled against run_end totals.
+	sumBytes, sumN := 0, 0
+	for _, er := range epochs {
+		if er.end == nil {
+			continue
+		}
+		sumBytes += er.bytes
+		sumN += er.n
+		if runEnd != nil && er.hasReports && er.reportBytes != er.bytes {
+			violate(Violation{Invariant: InvBytes, Epoch: er.ord, Step: er.step, Clique: -1, Node: -1,
+				Detail: fmt.Sprintf("report events carry %d bytes but the epoch accounts %d", er.reportBytes, er.bytes)})
+		}
+	}
+	if declared != nil {
+		if len(epochs) != declared.Steps {
+			violate(Violation{Invariant: InvBytes, Epoch: -1, Step: -1, Clique: -1, Node: -1,
+				Detail: fmt.Sprintf("trace has %d epochs but run_end declares %d steps", len(epochs), declared.Steps)})
+		}
+		if sumN != declared.Values {
+			violate(Violation{Invariant: InvBytes, Epoch: -1, Step: -1, Clique: -1, Node: -1,
+				Detail: fmt.Sprintf("epochs report %d values but run_end declares %d", sumN, declared.Values)})
+		}
+		if sumBytes != declared.Bytes {
+			violate(Violation{Invariant: InvBytes, Epoch: -1, Step: -1, Clique: -1, Node: -1,
+				Detail: fmt.Sprintf("epochs account %d bytes but run_end declares %d", sumBytes, declared.Bytes)})
+		}
+	}
+
+	// Histograms + segment summary.
+	for _, er := range epochs {
+		if er.end == nil {
+			continue
+		}
+		h.values.Observe(float64(er.n))
+		h.bytes.Observe(float64(er.bytes))
+		if er.startTS != 0 && er.endTS != 0 {
+			h.latency.Observe(float64(er.endTS-er.startTS) / 1e9)
+			h.sawLatency = true
+		}
+	}
+	rep.Epochs += len(epochs)
+	rep.PayloadBytes += sumBytes
+
+	seg := SegmentReport{
+		Epochs: len(epochs), Values: sumN, Bytes: sumBytes,
+		EpsilonMiss: len(misses), Declared: declared,
+	}
+	if runEnd != nil && runEnd.Detail != "" {
+		seg.Scheme = runEnd.Detail
+	} else if len(epochs) > 0 {
+		seg.Scheme = epochs[0].detail
+	}
+	for i := startLen; i < len(rep.Violations); i++ {
+		seg.ViolationIdx = append(seg.ViolationIdx, i)
+	}
+	return seg
+}
+
+// reportFor walks the span parent chain from parent up to the report span
+// that caused it (nil when uncaused). The walk is bounded to survive
+// corrupted parent cycles.
+func reportFor(reports map[int64]*reportRec, parentOf map[int64]int64, parent int64) *reportRec {
+	for hops := 0; parent != 0 && hops < 64; hops++ {
+		if rr, ok := reports[parent]; ok {
+			return rr
+		}
+		parent = parentOf[parent]
+	}
+	return nil
+}
+
+// excused reports whether a recorded loss or death at or before step
+// explains an ε miss there.
+func excused(failSteps []int64, step int64) bool {
+	for _, s := range failSteps {
+		if s <= step {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedIntKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// rollup builds the per-node / per-clique / per-link communication and
+// energy tables. Byte totals stay integers until the final energy
+// multiplication, so summation order cannot perturb the floats.
+func (a *Auditor) rollup(scopes []string, byScope map[string][]obs.Event, rep *Report) {
+	radio := simnet.DefaultRadio()
+	if a.Radio != nil {
+		radio = *a.Radio
+	}
+	nodes := map[int]*NodeStats{}
+	cliques := map[int]*CliqueStats{}
+	type linkKey struct{ from, to int }
+	links := map[linkKey]*LinkStats{}
+
+	node := func(i int) *NodeStats {
+		if n, ok := nodes[i]; ok {
+			return n
+		}
+		n := &NodeStats{Node: i}
+		nodes[i] = n
+		return n
+	}
+	clique := func(i int) *CliqueStats {
+		if c, ok := cliques[i]; ok {
+			return c
+		}
+		c := &CliqueStats{Clique: i}
+		cliques[i] = c
+		return c
+	}
+
+	for _, scope := range scopes {
+		for _, e := range byScope[scope] {
+			switch e.Type {
+			case obs.EvHop:
+				if e.Payload == nil {
+					continue
+				}
+				tx := node(e.Payload.From)
+				tx.TxMessages++
+				tx.TxBytes += e.Payload.Bytes
+				node(e.Payload.To).RxBytes += e.Payload.Bytes
+				rep.LinkBytes += e.Payload.Bytes
+				k := linkKey{e.Payload.From, e.Payload.To}
+				l, ok := links[k]
+				if !ok {
+					l = &LinkStats{From: k.from, To: k.to}
+					links[k] = l
+				}
+				l.Messages++
+				l.Bytes += e.Payload.Bytes
+			case obs.EvReport:
+				if e.Node >= 0 {
+					n := node(e.Node)
+					n.Reports++
+					n.Values += len(e.Attrs)
+				}
+				if e.Clique >= 0 {
+					c := clique(e.Clique)
+					c.Reports++
+					c.Values += len(e.Attrs)
+					if e.Payload != nil {
+						c.Bytes += e.Payload.Bytes
+					}
+				}
+			case obs.EvSuppress:
+				if e.Node >= 0 {
+					node(e.Node).Suppressed += len(e.Attrs)
+				}
+				if e.Clique >= 0 {
+					clique(e.Clique).Suppressed += len(e.Attrs)
+				}
+			case obs.EvApply:
+				if e.Clique >= 0 {
+					clique(e.Clique).Applied += len(e.Attrs)
+				}
+			case obs.EvDrop:
+				if e.Clique >= 0 {
+					clique(e.Clique).Dropped += len(e.Attrs)
+				}
+			case obs.EvPull:
+				if e.Node >= 0 {
+					node(e.Node).Pulls++
+				}
+			case obs.EvSuspect:
+				if e.Node >= 0 {
+					node(e.Node).Suspected++
+				}
+			case obs.EvNodeFailure:
+				if e.Node >= 0 {
+					node(e.Node).Died = true
+				}
+			}
+		}
+	}
+
+	totalTx, totalRx := 0, 0
+	for _, i := range sortedNodeKeys(nodes) {
+		n := nodes[i]
+		n.EnergyJ = float64(n.TxBytes)*radio.TxPerByte + float64(n.RxBytes)*radio.RxPerByte
+		totalTx += n.TxBytes
+		totalRx += n.RxBytes
+		rep.Nodes = append(rep.Nodes, *n)
+	}
+	rep.TotalEnergyJ = float64(totalTx)*radio.TxPerByte + float64(totalRx)*radio.RxPerByte
+	for _, i := range sortedCliqueKeys(cliques) {
+		rep.Cliques = append(rep.Cliques, *cliques[i])
+	}
+	linkKeys := make([]linkKey, 0, len(links))
+	for k := range links {
+		linkKeys = append(linkKeys, k)
+	}
+	sort.Slice(linkKeys, func(i, j int) bool {
+		if linkKeys[i].from != linkKeys[j].from {
+			return linkKeys[i].from < linkKeys[j].from
+		}
+		return linkKeys[i].to < linkKeys[j].to
+	})
+	for _, k := range linkKeys {
+		rep.Links = append(rep.Links, *links[k])
+	}
+}
+
+func sortedNodeKeys(m map[int]*NodeStats) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedCliqueKeys(m map[int]*CliqueStats) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,128 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ken/internal/obs"
+)
+
+// WriteJSON renders the report as indented JSON, stable across runs.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteMarkdown renders the human-readable summary.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	p := &printer{w: w}
+	p.f("# kenaudit report\n\n")
+	verdict := "PASS — all invariants hold"
+	if !r.Clean() {
+		verdict = fmt.Sprintf("FAIL — %d invariant violation(s)", len(r.Violations))
+	}
+	p.f("**%s** over %d events, %d epochs.\n\n", verdict, r.Events, r.Epochs)
+
+	if len(r.Violations) > 0 {
+		p.f("## Violations\n\n")
+		for _, v := range r.Violations {
+			p.f("- `%s`\n", v.String())
+		}
+		p.f("\n")
+	}
+
+	p.f("## Runs\n\n")
+	p.f("| scope | segment | scheme | epochs | values | bytes | ε misses | declared misses |\n")
+	p.f("|---|---:|---|---:|---:|---:|---:|---:|\n")
+	for _, sr := range r.Scopes {
+		for i, seg := range sr.Segments {
+			decl := "—"
+			if seg.Declared != nil {
+				decl = fmt.Sprintf("%d", seg.Declared.Violations)
+			}
+			p.f("| %s | %d | %s | %d | %d | %d | %d | %s |\n",
+				mdScope(sr.Scope), i, seg.Scheme, seg.Epochs, seg.Values, seg.Bytes, seg.EpsilonMiss, decl)
+		}
+	}
+	p.f("\n")
+
+	p.f("## Epoch profile\n\n")
+	p.f("| histogram | count | sum | min | p50 | p90 | p99 | max |\n")
+	p.f("|---|---:|---:|---:|---:|---:|---:|---:|\n")
+	p.hist("values/epoch", r.EpochValues)
+	p.hist("bytes/epoch", r.EpochBytes)
+	if r.EpochLatency != nil {
+		p.hist("latency (s)", *r.EpochLatency)
+	}
+	p.f("\n")
+
+	if len(r.Nodes) > 0 {
+		p.f("## Nodes\n\n")
+		p.f("| node | tx msgs | tx bytes | rx bytes | reports | values | suppressed | pulls | energy (J) |\n")
+		p.f("|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, n := range r.Nodes {
+			name := fmt.Sprintf("%d", n.Node)
+			if n.Died {
+				name += " †"
+			}
+			p.f("| %s | %d | %d | %d | %d | %d | %d | %d | %.6g |\n",
+				name, n.TxMessages, n.TxBytes, n.RxBytes, n.Reports, n.Values, n.Suppressed, n.Pulls, n.EnergyJ)
+		}
+		p.f("\n")
+	}
+
+	if len(r.Cliques) > 0 {
+		p.f("## Cliques\n\n")
+		p.f("| clique | reports | values | suppressed | applied | dropped | bytes |\n")
+		p.f("|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, c := range r.Cliques {
+			p.f("| %d | %d | %d | %d | %d | %d | %d |\n",
+				c.Clique, c.Reports, c.Values, c.Suppressed, c.Applied, c.Dropped, c.Bytes)
+		}
+		p.f("\n")
+	}
+
+	if len(r.Links) > 0 {
+		p.f("## Links\n\n")
+		p.f("| link | messages | bytes |\n")
+		p.f("|---|---:|---:|\n")
+		for _, l := range r.Links {
+			p.f("| %d → %d | %d | %d |\n", l.From, l.To, l.Messages, l.Bytes)
+		}
+		p.f("\n")
+	}
+
+	p.f("## Totals\n\n")
+	p.f("- payload bytes (epoch accounting): %d\n", r.PayloadBytes)
+	p.f("- link bytes (radio, incl. overhead): %d\n", r.LinkBytes)
+	p.f("- estimated radio energy: %.6g J\n", r.TotalEnergyJ)
+	return p.err
+}
+
+// mdScope renders a scope name for a table cell ("" becomes the root marker).
+func mdScope(s string) string {
+	if s == "" {
+		return "(root)"
+	}
+	return s
+}
+
+// printer accumulates the first write error so table code stays linear.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) f(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) hist(name string, s obs.HistSnapshot) {
+	p.f("| %s | %d | %.6g | %.6g | %.6g | %.6g | %.6g | %.6g |\n",
+		name, s.Count, s.Sum, s.Min, s.P50, s.P90, s.P99, s.Max)
+}

@@ -30,6 +30,7 @@ import (
 	"ken/internal/mc"
 	"ken/internal/model"
 	"ken/internal/network"
+	"ken/internal/obs"
 	"ken/internal/trace"
 )
 
@@ -73,6 +74,12 @@ type Config struct {
 	MCHorizon      int
 	// NeighborLimit caps Greedy-k candidate pools (see cliques.GreedyConfig).
 	NeighborLimit int
+	// Obs, when non-nil, receives every replay's metrics and protocol
+	// events; cells scope their trace events by figure and cell index, so a
+	// parallel run's trace audits identically to a sequential one. Obs is
+	// runtime plumbing, not experiment identity — it never enters cache
+	// keys.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -331,9 +338,13 @@ func (d *dataset) subset(nodes []int) *dataset {
 }
 
 // replay runs a scheme over the dataset's test rows, enforcing that
-// deterministic schemes keep the ε guarantee.
-func (d *dataset) replay(ctx context.Context, s core.Scheme) (*core.Result, error) {
-	return core.Run(ctx, s, d.test, core.RunOptions{Eps: d.eps})
+// deterministic schemes keep the ε guarantee. The run reports into
+// cfg.Obs under the cell scope accumulated on ctx, so traces from
+// concurrent cells stay attributable and auditable.
+func (d *dataset) replay(ctx context.Context, cfg Config, s core.Scheme) (*core.Result, error) {
+	return core.Run(ctx, s, d.test, core.RunOptions{
+		Eps: d.eps, Observer: cfg.Obs, Scope: engine.Scope(ctx),
+	})
 }
 
 func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

@@ -26,6 +26,7 @@ import (
 func Extensions(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	eng = ensureEngine(eng)
+	ctx = engine.WithScope(ctx, "ext")
 	t := &Table{
 		Title:   "Extensions: §6 and footnote-4 features, system-level results",
 		Columns: []string{"experiment", "variant", "metric", "value"},
@@ -256,11 +257,12 @@ func extProbabilistic(ctx context.Context, eng *engine.Engine, cfg Config) ([][]
 			Eps:       d.eps,
 			FitCfg:    model.FitConfig{Period: 24},
 			Prob:      prob,
+			Obs:       cfg.Obs,
 		})
 		if err != nil {
 			return err
 		}
-		res, err := core.Run(ctx, s, d.test, core.RunOptions{Eps: d.eps})
+		res, err := core.Run(ctx, s, d.test, core.RunOptions{Eps: d.eps, Observer: cfg.Obs, Scope: engine.Scope(ctx)})
 		if err != nil {
 			return err
 		}
@@ -324,6 +326,10 @@ func extLifetime(ctx context.Context, eng *engine.Engine, cfg Config) ([][]strin
 		if err != nil {
 			return nil, err
 		}
+		// Each program gets its own trace scope so the auditor sees two
+		// separate open segments rather than one interleaved stream.
+		//lint:ignore obshandle two construction-time iterations, each instrumenting a fresh network
+		net.Instrument(cfg.Obs.Scoped(engine.Scope(ctx)).Scoped(name))
 		var prog simnet.Program
 		if name == "tinydb" {
 			prog, err = simnet.NewDistributedTinyDB(net, eps)
@@ -461,11 +467,12 @@ func extJointMultiAttr(ctx context.Context, eng *engine.Engine, cfg Config) ([][
 			NeighborLimit: cfg.NeighborLimit,
 			MC:            mcConfigFor(cfg),
 			Metric:        cliques.MetricReduction,
+			Obs:           cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Run(ctx, s, cols[cfg.TrainSteps:], core.RunOptions{Eps: e})
+		res, err := core.Run(ctx, s, cols[cfg.TrainSteps:], core.RunOptions{Eps: e, Observer: cfg.Obs, Scope: engine.Scope(ctx)})
 		if err != nil {
 			return nil, err
 		}
@@ -501,11 +508,12 @@ func extJointMultiAttr(ctx context.Context, eng *engine.Engine, cfg Config) ([][
 		Train:     train,
 		Eps:       eps,
 		FitCfg:    model.FitConfig{Period: 24},
+		Obs:       cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(ctx, s, test, core.RunOptions{Eps: eps})
+	res, err := core.Run(ctx, s, test, core.RunOptions{Eps: eps, Observer: cfg.Obs, Scope: engine.Scope(ctx)})
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,7 @@ import (
 func Fig14(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	eng = ensureEngine(eng)
+	ctx = engine.WithScope(ctx, "fig14")
 	tr, err := cachedTrace(eng, "garden", cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
 	if err != nil {
 		return nil, err
@@ -73,11 +74,12 @@ func Fig14(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) 
 			Train:     train,
 			Eps:       eps,
 			FitCfg:    model.FitConfig{Period: 24},
+			Obs:       cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Run(ctx, s, test, core.RunOptions{Eps: eps})
+		res, err := core.Run(ctx, s, test, core.RunOptions{Eps: eps, Observer: cfg.Obs, Scope: engine.Scope(ctx)})
 		if err != nil {
 			return nil, err
 		}

@@ -30,6 +30,7 @@ func Fig10(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) 
 func reportedFigure(ctx context.Context, eng *engine.Engine, name string, kmax int, fig string, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	eng = ensureEngine(eng)
+	ctx = engine.WithScope(ctx, "fig"+fig)
 	d, err := loadDataset(eng, name, cfg)
 	if err != nil {
 		return nil, err
@@ -52,7 +53,7 @@ func reportedFigure(ctx context.Context, eng *engine.Engine, name string, kmax i
 		if err != nil {
 			return nil, err
 		}
-		res, err := d.replay(ctx, s)
+		res, err := d.replay(ctx, cfg, s)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s on %s: %w", s.Name(), name, err)
 		}
@@ -80,6 +81,7 @@ func buildReportedScheme(eng *engine.Engine, d *dataset, cfg Config, scheme stri
 		Eps:    d.eps,
 		Train:  d.train,
 		FitCfg: model.FitConfig{Period: 24},
+		Obs:    cfg.Obs,
 	}
 	if k, ok := djcK(scheme); ok {
 		p, err := djcPartition(eng, d, cfg, k, cliques.MetricReduction)

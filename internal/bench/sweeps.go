@@ -8,6 +8,7 @@ import (
 	"ken/internal/core"
 	"ken/internal/engine"
 	"ken/internal/model"
+	"ken/internal/obs"
 	"ken/internal/trace"
 )
 
@@ -52,18 +53,19 @@ func pairPart(n int) *cliques.Partition {
 }
 
 // runPair replays ApC and DjC2 on the rows at the given ε and seasonal
-// period, returning their reported fractions.
-func runPair(ctx context.Context, train, test [][]float64, epsVal float64, period int) (apc, djc float64, err error) {
+// period, returning their reported fractions. Both replays trace into ob
+// under the cell's scope, so a sweep's trace segments audit per setting.
+func runPair(ctx context.Context, ob *obs.Observer, train, test [][]float64, epsVal float64, period int) (apc, djc float64, err error) {
 	n := len(train[0])
 	eps := make([]float64, n)
 	for i := range eps {
 		eps[i] = epsVal
 	}
-	cache, err := core.Build(core.SchemeSpec{Scheme: "ApproxCache", Eps: eps})
+	cache, err := core.Build(core.SchemeSpec{Scheme: "ApproxCache", Eps: eps, Obs: ob})
 	if err != nil {
 		return 0, 0, err
 	}
-	cres, err := core.Run(ctx, cache, test, core.RunOptions{Eps: eps})
+	cres, err := core.Run(ctx, cache, test, core.RunOptions{Eps: eps, Observer: ob, Scope: engine.Scope(ctx)})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -73,11 +75,12 @@ func runPair(ctx context.Context, train, test [][]float64, epsVal float64, perio
 		Train:     train,
 		Eps:       eps,
 		FitCfg:    model.FitConfig{Period: period},
+		Obs:       ob,
 	})
 	if err != nil {
 		return 0, 0, err
 	}
-	kres, err := core.Run(ctx, ken, test, core.RunOptions{Eps: eps})
+	kres, err := core.Run(ctx, ken, test, core.RunOptions{Eps: eps, Observer: ob, Scope: engine.Scope(ctx)})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -90,13 +93,14 @@ func runPair(ctx context.Context, train, test [][]float64, epsVal float64, perio
 // sweepEpsilon varies the error bound at the hourly rate, one cell per
 // bound over the shared garden dataset.
 func sweepEpsilon(ctx context.Context, eng *engine.Engine, cfg Config) ([][]string, error) {
+	ctx = engine.WithScope(ctx, "sweep-eps")
 	d, err := loadDataset(eng, "garden", cfg)
 	if err != nil {
 		return nil, err
 	}
 	bounds := []float64{0.1, 0.25, 0.5, 1.0, 2.0}
 	return engine.Map(ctx, eng, bounds, func(ctx context.Context, _ int, e float64) ([]string, error) {
-		apc, djc, err := runPair(ctx, d.train, d.test, e, 24)
+		apc, djc, err := runPair(ctx, cfg.Obs, d.train, d.test, e, 24)
 		if err != nil {
 			return nil, err
 		}
@@ -120,6 +124,7 @@ func sweepRate(ctx context.Context, eng *engine.Engine, cfg Config) ([][]string,
 		{"hourly", 60, 24},
 		{"every 2 h", 120, 12},
 	}
+	ctx = engine.WithScope(ctx, "sweep-rate")
 	return engine.Map(ctx, eng, settings, func(ctx context.Context, _ int, sc rateSetting) ([]string, error) {
 		gc := trace.GardenConfig(cfg.Seed, cfg.TrainSteps+cfg.TestSteps)
 		gc.StepMinutes = sc.minutes
@@ -132,7 +137,7 @@ func sweepRate(ctx context.Context, eng *engine.Engine, cfg Config) ([][]string,
 			return nil, err
 		}
 		train, test := rows[:cfg.TrainSteps], rows[cfg.TrainSteps:]
-		apc, djc, err := runPair(ctx, train, test, 0.5, sc.period)
+		apc, djc, err := runPair(ctx, cfg.Obs, train, test, 0.5, sc.period)
 		if err != nil {
 			return nil, err
 		}

@@ -36,6 +36,7 @@ type costCell struct {
 func Fig12(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	eng = ensureEngine(eng)
+	ctx = engine.WithScope(ctx, "fig12")
 	d, err := loadDataset(eng, "garden", cfg)
 	if err != nil {
 		return nil, err
@@ -71,6 +72,7 @@ func Fig12(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) 
 func Fig13(ctx context.Context, eng *engine.Engine, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	eng = ensureEngine(eng)
+	ctx = engine.WithScope(ctx, "fig13")
 	d, err := loadDataset(eng, "lab", cfg)
 	if err != nil {
 		return nil, err
@@ -122,6 +124,7 @@ func runCostCells(ctx context.Context, eng *engine.Engine, cfg Config, cells []c
 			Train:    c.d.train,
 			FitCfg:   model.FitConfig{Period: 24},
 			Topology: c.top,
+			Obs:      cfg.Obs,
 		}
 		maxClique := "1"
 		if c.k == 0 {
@@ -139,7 +142,7 @@ func runCostCells(ctx context.Context, eng *engine.Engine, cfg Config, cells []c
 		if err != nil {
 			return nil, err
 		}
-		res, err := c.d.replay(ctx, s)
+		res, err := c.d.replay(ctx, cfg, s)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 
 	"ken/internal/model"
 	"ken/internal/network"
+	"ken/internal/obs"
 )
 
 // Average is the paper's Average model (Example 3.5, Figure 4): every step,
@@ -140,6 +141,7 @@ func (a *Average) Step(truth []float64) ([]float64, StepStats, error) {
 		}
 		est[i] = a.sink[i].Mean()[0]
 	}
+	st.Bytes = obs.WireBytesPerValue * st.ValuesReported
 	// Aggregate this step's readings for dissemination next round.
 	sum := 0.0
 	for _, v := range truth {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ken/internal/network"
+	"ken/internal/obs"
 )
 
 // TinyDB is the exact-collection baseline (§5.2): every node reports every
@@ -45,6 +46,7 @@ func (s *TinyDB) Step(truth []float64) ([]float64, StepStats, error) {
 	for i := 0; i < s.n; i++ {
 		st.Reported[i] = i
 	}
+	st.Bytes = obs.WireBytesPerValue * s.n
 	if s.top == nil {
 		st.SinkCost = float64(s.n)
 	} else {
@@ -118,6 +120,7 @@ func (s *Cache) Step(truth []float64) ([]float64, StepStats, error) {
 		}
 	}
 	s.primed = true
+	st.Bytes = obs.WireBytesPerValue * st.ValuesReported
 	est := make([]float64, s.n)
 	copy(est, s.cached)
 	return est, st, nil

@@ -44,6 +44,18 @@ type StepStats struct {
 	IntraCost float64
 	// SinkCost is the source-to-sink communication cost.
 	SinkCost float64
+	// Bytes is the step's source→sink payload on the wire
+	// (obs.WireBytesPerValue per reported value) — the figure the offline
+	// auditor reconciles against the trace's per-epoch accounting.
+	Bytes int
+}
+
+// EpochScoped is implemented by schemes that accept a causal epoch span
+// from Run before each step, so their report/suppress/apply events nest
+// under the epoch the replay driver opened. Schemes without it still
+// trace through their own (unspanned) tracer handle.
+type EpochScoped interface {
+	BeginEpoch(sp *obs.Span)
 }
 
 // Result accumulates a full replay.
@@ -55,6 +67,9 @@ type Result struct {
 	ValuesReported int
 	IntraCost      float64
 	SinkCost       float64
+	// WireBytes totals the per-step source→sink payload bytes (see
+	// StepStats.Bytes).
+	WireBytes int
 
 	// MaxAbsError is the largest |estimate − truth| seen at the sink.
 	MaxAbsError float64
@@ -116,6 +131,10 @@ type RunOptions struct {
 	// error) while the replay progresses — the handle a live /metrics
 	// endpoint watches during a long simulation.
 	Observer *obs.Observer
+	// Scope labels every trace event of this replay (nested under the
+	// tracer's own scope), keeping concurrent replays sharing one trace
+	// file attributable — engine cells pass engine.Scope(ctx).
+	Scope string
 }
 
 // Run replays the scheme over the test rows, audits every sink estimate
@@ -135,7 +154,7 @@ func Run(ctx context.Context, s Scheme, test [][]float64, opts RunOptions) (*Res
 		return nil, fmt.Errorf("core: eps dim %d, scheme dim %d", len(eps), n)
 	}
 	reg := opts.Observer.Registry()
-	tracer := opts.Observer.Tracer()
+	tracer := opts.Observer.Tracer().WithScope(opts.Scope)
 	mEpochs := reg.Counter("ken_epochs_total")
 	mRunValues := reg.Counter("ken_run_values_reported_total")
 	mViolations := reg.Counter("ken_epsilon_violations_total")
@@ -147,6 +166,7 @@ func Run(ctx context.Context, s Scheme, test [][]float64, opts RunOptions) (*Res
 		PerStepReported: make([]int, 0, len(test)),
 		Estimates:       make([][]float64, 0, len(test)),
 	}
+	scoped, _ := s.(EpochScoped)
 	var absErrSum float64
 	for t, truth := range test {
 		if err := ctx.Err(); err != nil {
@@ -155,8 +175,9 @@ func Run(ctx context.Context, s Scheme, test [][]float64, opts RunOptions) (*Res
 		if len(truth) != n {
 			return nil, fmt.Errorf("core: test row %d has dim %d, want %d", t, len(truth), n)
 		}
-		if tracer != nil {
-			tracer.Emit(obs.Event{Type: obs.EvEpochStart, Step: int64(t), Clique: -1, Node: -1, Detail: s.Name()})
+		sp := tracer.StartEpoch(obs.Event{Step: int64(t), Clique: -1, Node: -1, Detail: s.Name()})
+		if scoped != nil {
+			scoped.BeginEpoch(sp)
 		}
 		est, st, err := s.Step(truth)
 		if err != nil {
@@ -168,6 +189,7 @@ func Run(ctx context.Context, s Scheme, test [][]float64, opts RunOptions) (*Res
 		res.ValuesReported += st.ValuesReported
 		res.IntraCost += st.IntraCost
 		res.SinkCost += st.SinkCost
+		res.WireBytes += st.Bytes
 		res.PerStepReported = append(res.PerStepReported, st.ValuesReported)
 		res.ReportedAttrs = append(res.ReportedAttrs, st.Reported)
 		res.Estimates = append(res.Estimates, est)
@@ -187,11 +209,16 @@ func Run(ctx context.Context, s Scheme, test [][]float64, opts RunOptions) (*Res
 		mRunValues.Add(int64(st.ValuesReported))
 		mViolations.Add(int64(stepViolations))
 		gMaxErr.Set(res.MaxAbsError)
-		if tracer != nil {
-			tracer.Emit(obs.Event{Type: obs.EvEpochEnd, Step: int64(t), Clique: -1, Node: -1, N: st.ValuesReported})
+		if sp.Active() {
+			sp.EndEpoch(obs.Event{Step: int64(t), Clique: -1, Node: -1, N: st.ValuesReported,
+				Payload: &obs.Payload{Predicted: est, Observed: truth, Eps: eps, Bytes: st.Bytes}})
 		}
 	}
 	res.MeanAbsError = absErrSum / float64(res.Steps*n)
+	if tracer != nil {
+		tracer.Emit(obs.Event{Type: obs.EvRunEnd, Step: int64(res.Steps), Clique: -1, Node: -1, Detail: s.Name(),
+			Payload: &obs.Payload{Steps: res.Steps, Values: res.ValuesReported, Violations: res.BoundViolations, Bytes: res.WireBytes}})
+	}
 	return res, nil
 }
 

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"ken/internal/obs"
 )
 
 // FailureDetector implements §6 "Detection of Node Failures": when the base
@@ -16,6 +18,11 @@ type FailureDetector struct {
 	rate   float64
 	alpha  float64
 	silent int
+
+	tracer    *obs.Tracer
+	node      int
+	steps     int64
+	suspected bool
 }
 
 // NewFailureDetector builds a detector for a source whose expected per-step
@@ -31,15 +38,36 @@ func NewFailureDetector(rate, alpha float64) (*FailureDetector, error) {
 	return &FailureDetector{rate: rate, alpha: alpha}, nil
 }
 
+// Instrument attaches protocol tracing for the node this detector watches:
+// each time silence newly crosses the suspicion threshold, one EvSuspect
+// event is emitted (N carries the silence length). Resolve the tracer once
+// at setup, not per step.
+func (d *FailureDetector) Instrument(tr *obs.Tracer, node int) {
+	d.tracer = tr
+	d.node = node
+}
+
 // Observe records whether a report arrived this step and returns true when
 // the accumulated silence is too improbable for a live node.
 func (d *FailureDetector) Observe(reported bool) bool {
+	d.steps++
 	if reported {
 		d.silent = 0
+		d.suspected = false
 		return false
 	}
 	d.silent++
-	return d.Suspect()
+	s := d.Suspect()
+	if s && !d.suspected {
+		d.suspected = true
+		if d.tracer != nil {
+			d.tracer.Emit(obs.Event{
+				Type: obs.EvSuspect, Step: d.steps - 1, Clique: -1, Node: d.node,
+				N: d.silent,
+			})
+		}
+	}
+	return s
 }
 
 // Suspect reports the current verdict without consuming a step.

@@ -91,6 +91,7 @@ type Ken struct {
 	// Observability handles, resolved once in NewKen; all nil (and
 	// therefore no-ops) when KenConfig.Obs is unset.
 	tracer        *obs.Tracer
+	span          *obs.Span // current epoch span, set by Run via BeginEpoch
 	stepN         int64
 	mValues       *obs.Counter // ken_values_reported_total
 	mSuppressed   *obs.Counter // ken_values_suppressed_total
@@ -216,6 +217,10 @@ func (k *Ken) Dim() int { return k.n }
 // (read-only; useful for reporting which cliques Build selected).
 func (k *Ken) Partition() *cliques.Partition { return k.part }
 
+// BeginEpoch implements EpochScoped: report/suppress/apply events of the
+// next Step nest under the replay driver's epoch span.
+func (k *Ken) BeginEpoch(sp *obs.Span) { k.span = sp }
+
 // Step implements Scheme: for every clique, advance both replicas, let the
 // source choose the minimal report set, deliver it, and read the sink's
 // answer (§3.2).
@@ -238,28 +243,36 @@ func (k *Ken) Step(truth []float64) ([]float64, StepStats, error) {
 		c.src.Step()
 		c.sink.Step()
 
-		obs, err := k.chooseReport(c, local)
+		// Capture the sink replica's prediction before conditioning — the
+		// "what the sink would have believed" side of the audit triple.
+		var pred []float64
+		if k.tracer != nil {
+			pred = append([]float64(nil), c.sink.Mean()...)
+		}
+
+		rep, err := k.chooseReport(c, local)
 		if err != nil {
 			return nil, StepStats{}, err
 		}
-		if err := c.src.Condition(obs); err != nil {
+		if err := c.src.Condition(rep); err != nil {
 			return nil, StepStats{}, err
 		}
-		if err := c.sink.Condition(obs); err != nil {
+		if err := c.sink.Condition(rep); err != nil {
 			return nil, StepStats{}, err
 		}
 
-		st.ValuesReported += len(obs)
-		for i := range obs {
+		st.ValuesReported += len(rep)
+		for i := range rep {
 			st.Reported = append(st.Reported, c.members[i])
 		}
 		st.IntraCost += c.intra
+		st.Bytes += obs.WireBytesPerValue * len(rep)
 		if k.top == nil {
-			st.SinkCost += float64(len(obs))
+			st.SinkCost += float64(len(rep))
 		} else {
-			st.SinkCost += float64(len(obs)) * k.top.CommToBase(c.root)
+			st.SinkCost += float64(len(rep)) * k.top.CommToBase(c.root)
 		}
-		k.observeClique(ci, c, obs)
+		k.observeClique(ci, c, rep, rep, pred)
 		mean := c.sink.Mean()
 		for i, g := range c.members {
 			est[g] = mean[i]
@@ -274,27 +287,55 @@ func (k *Ken) Step(truth []float64) ([]float64, StepStats, error) {
 
 // observeClique feeds one clique's report decision into the metrics and
 // tracer. Counter handles are nil-safe; the trace branch, which allocates
-// the attr slices, is guarded so the unobserved path allocates nothing.
-func (k *Ken) observeClique(ci int, c *kenClique, reported map[int]float64) {
+// the attr and payload slices, is guarded so the unobserved path allocates
+// nothing. pred is the sink replica's prediction captured before
+// conditioning; delivered is the subset of reported that actually reached
+// the sink (identical to reported in the lossless scheme, possibly smaller
+// under the lossy wrapper). When a replay epoch span is active the report
+// becomes a child span and the sink apply its grandchild, giving the
+// auditor the report → apply causal chain; otherwise events are emitted
+// unspanned as before. The report span (nil when no report went out or no
+// epoch span is active) is returned so callers can parent loss events to it.
+func (k *Ken) observeClique(ci int, c *kenClique, reported, delivered map[int]float64, pred []float64) *obs.Span {
 	k.mValues.Add(int64(len(reported)))
 	k.mSuppressed.Add(int64(len(c.members) - len(reported)))
 	if len(reported) > 0 {
 		k.mReportMsgs.Inc()
 	}
 	if k.tracer == nil {
-		return
+		return nil
 	}
-	attrs := make([]int, 0, len(reported))
-	values := make([]float64, 0, len(reported))
-	for _, i := range sortedReportKeys(reported) {
-		attrs = append(attrs, c.members[i])
-		values = append(values, reported[i])
-	}
-	if len(attrs) > 0 {
-		k.tracer.Emit(obs.Event{
+	var rs *obs.Span
+	if len(reported) > 0 {
+		attrs := make([]int, 0, len(reported))
+		values := make([]float64, 0, len(reported))
+		epsR := make([]float64, 0, len(reported))
+		var preds []float64
+		if pred != nil {
+			preds = make([]float64, 0, len(reported))
+		}
+		for _, i := range sortedReportKeys(reported) {
+			attrs = append(attrs, c.members[i])
+			values = append(values, reported[i])
+			epsR = append(epsR, c.eps[i])
+			if pred != nil {
+				preds = append(preds, pred[i])
+			}
+		}
+		ev := obs.Event{
 			Type: obs.EvReport, Step: k.stepN, Clique: ci, Node: c.root,
 			Attrs: attrs, Values: values,
-		})
+			Payload: &obs.Payload{
+				Predicted: preds, Observed: values, Eps: epsR,
+				Bytes: obs.WireBytesPerValue * len(attrs),
+			},
+		}
+		if k.span.Active() {
+			rs = k.span.Child()
+			rs.Emit(ev)
+		} else {
+			k.tracer.Emit(ev)
+		}
 	}
 	if len(reported) < len(c.members) {
 		supp := make([]int, 0, len(c.members)-len(reported))
@@ -303,11 +344,34 @@ func (k *Ken) observeClique(ci int, c *kenClique, reported map[int]float64) {
 				supp = append(supp, g)
 			}
 		}
-		k.tracer.Emit(obs.Event{
+		ev := obs.Event{
 			Type: obs.EvSuppress, Step: k.stepN, Clique: ci, Node: c.root,
 			Attrs: supp,
-		})
+		}
+		if k.span.Active() {
+			k.span.Emit(ev)
+		} else {
+			k.tracer.Emit(ev)
+		}
 	}
+	if len(delivered) > 0 {
+		attrs := make([]int, 0, len(delivered))
+		values := make([]float64, 0, len(delivered))
+		for _, i := range sortedReportKeys(delivered) {
+			attrs = append(attrs, c.members[i])
+			values = append(values, delivered[i])
+		}
+		ev := obs.Event{
+			Type: obs.EvApply, Step: k.stepN, Clique: ci, Node: -1,
+			Attrs: attrs, Values: values, N: len(attrs),
+		}
+		if rs.Active() {
+			rs.Child().Emit(ev)
+		} else {
+			k.tracer.Emit(ev)
+		}
+	}
+	return rs
 }
 
 // emitResync traces a heartbeat re-synchronisation (lossy wrapper).
@@ -315,7 +379,12 @@ func (k *Ken) emitResync(step int64) {
 	if k.tracer == nil {
 		return
 	}
-	k.tracer.Emit(obs.Event{Type: obs.EvResync, Step: step, Clique: -1, Node: -1})
+	ev := obs.Event{Type: obs.EvResync, Step: step, Clique: -1, Node: -1}
+	if k.span.Active() {
+		k.span.Emit(ev)
+	} else {
+		k.tracer.Emit(ev)
+	}
 }
 
 // sortedReportKeys iterates a report set deterministically for tracing.

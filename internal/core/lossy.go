@@ -6,6 +6,7 @@ import (
 
 	"ken/internal/cliques"
 	"ken/internal/model"
+	"ken/internal/obs"
 )
 
 // LossyConfig parameterises the message-loss robustness extension (§6
@@ -73,6 +74,10 @@ func (l *LossyKen) Dim() int { return l.ken.n }
 // Partition returns the wrapped scheme's Disjoint-Cliques partition.
 func (l *LossyKen) Partition() *cliques.Partition { return l.ken.Partition() }
 
+// BeginEpoch implements EpochScoped by forwarding the replay driver's
+// epoch span to the wrapped scheme.
+func (l *LossyKen) BeginEpoch(sp *obs.Span) { l.ken.BeginEpoch(sp) }
+
 // Step implements Scheme.
 func (l *LossyKen) Step(truth []float64) ([]float64, StepStats, error) {
 	k := l.ken
@@ -98,53 +103,77 @@ func (l *LossyKen) Step(truth []float64) ([]float64, StepStats, error) {
 		c.src.Step()
 		c.sink.Step()
 
-		var obs map[int]float64
+		// Capture the sink replica's prediction before conditioning — under
+		// loss the replicas diverge, so this is the sink's (possibly stale)
+		// view the auditor compares against ground truth.
+		var pred []float64
+		if k.tracer != nil {
+			pred = append([]float64(nil), c.sink.Mean()...)
+		}
+
+		var rep map[int]float64
 		var err error
 		if heartbeat {
 			// Heartbeats carry every clique value and are delivered
 			// reliably (acked end-to-end).
-			obs = make(map[int]float64, len(local))
+			rep = make(map[int]float64, len(local))
 			for i, v := range local {
-				obs[i] = v
+				rep[i] = v
 			}
 		} else {
-			obs, err = model.ChooseReportGreedy(c.src, local, c.eps)
+			rep, err = model.ChooseReportGreedy(c.src, local, c.eps)
 			if err != nil {
 				return nil, StepStats{}, err
 			}
 		}
 
 		// The source believes everything it sent.
-		if err := c.src.Condition(obs); err != nil {
+		if err := c.src.Condition(rep); err != nil {
 			return nil, StepStats{}, err
 		}
 		// The sink receives each value subject to loss (heartbeats exempt).
-		delivered := obs
+		// Loss coins are flipped in sorted attribute order so a fixed seed
+		// reproduces the same loss pattern run after run.
+		delivered := rep
+		var lost []int
 		if !heartbeat && l.cfg.LossRate > 0 {
-			delivered = make(map[int]float64, len(obs))
-			for i, v := range obs {
+			delivered = make(map[int]float64, len(rep))
+			for _, i := range sortedReportKeys(rep) {
 				if l.rng.Float64() < l.cfg.LossRate {
 					l.LostMessages++
 					k.mLostReports.Inc()
+					lost = append(lost, c.members[i])
 					continue
 				}
-				delivered[i] = v
+				delivered[i] = rep[i]
 			}
 		}
 		if err := c.sink.Condition(delivered); err != nil {
 			return nil, StepStats{}, err
 		}
 
-		st.ValuesReported += len(obs)
-		for i := range obs {
+		st.ValuesReported += len(rep)
+		for i := range rep {
 			st.Reported = append(st.Reported, c.members[i])
 		}
-		k.observeClique(ci, c, obs)
+		rs := k.observeClique(ci, c, rep, delivered, pred)
+		if len(lost) > 0 && k.tracer != nil {
+			ev := obs.Event{
+				Type: obs.EvDrop, Step: k.stepN, Clique: ci, Node: c.root,
+				Attrs: lost, Detail: "loss",
+			}
+			if rs.Active() {
+				rs.Child().Emit(ev)
+			} else {
+				k.tracer.Emit(ev)
+			}
+		}
 		st.IntraCost += c.intra
+		st.Bytes += obs.WireBytesPerValue * len(rep)
 		if k.top == nil {
-			st.SinkCost += float64(len(obs))
+			st.SinkCost += float64(len(rep))
 		} else {
-			st.SinkCost += float64(len(obs)) * k.top.CommToBase(c.root)
+			st.SinkCost += float64(len(rep)) * k.top.CommToBase(c.root)
 		}
 		mean := c.sink.Mean()
 		for i, g := range c.members {

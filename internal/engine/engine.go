@@ -28,6 +28,7 @@ import (
 	"hash/fnv"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"ken/internal/obs"
@@ -83,6 +84,35 @@ func (e *Engine) Cache() *Cache { return e.cache }
 // inside a cell degrades to inline sequential execution instead of
 // deadlocking on the pool semaphore.
 type inCellKey struct{}
+
+// scopeKey carries the trace scope path through cell contexts.
+type scopeKey struct{}
+
+// WithScope returns a context whose trace scope gains one path segment
+// (nested under any existing scope with "/"). Experiments set a base scope
+// before calling Map; Map then appends each cell's index, so events from
+// concurrent cells sharing one trace file stay attributable — and, because
+// the segment is the item index, a Workers=8 trace labels events exactly
+// like a Workers=1 trace.
+func WithScope(ctx context.Context, label string) context.Context {
+	if label == "" {
+		return ctx
+	}
+	if prev := Scope(ctx); prev != "" {
+		label = prev + "/" + label
+	}
+	return context.WithValue(ctx, scopeKey{}, label)
+}
+
+// Scope returns the trace scope accumulated on the context ("" when
+// unset). Pass it to core.RunOptions.Scope or obs.Tracer.WithScope.
+func Scope(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	s, _ := ctx.Value(scopeKey{}).(string)
+	return s
+}
 
 // Map runs fn over every item and returns the results in item order. Cells
 // run concurrently up to the pool width; the first cell error cancels the
@@ -150,7 +180,7 @@ func runCell[T, R any](ctx context.Context, e *Engine, i int, item T, fn func(ct
 		tCell, mCells, mCellErrs = e.tCell, e.mCells, e.mCellErrs
 	}
 	stop := tCell.Start()
-	r, err := fn(ctx, i, item)
+	r, err := fn(WithScope(ctx, strconv.Itoa(i)), i, item)
 	stop()
 	mCells.Inc()
 	if err != nil {

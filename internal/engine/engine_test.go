@@ -327,3 +327,48 @@ func TestCellSeedStableAndCollisionFree(t *testing.T) {
 		t.Fatalf("grid covered %d cells, want %d", len(seen), 8*2*8*4)
 	}
 }
+
+// TestScopeNesting checks the trace-scope context plumbing: WithScope
+// nests with "/", Scope is nil-safe, and empty labels are no-ops.
+func TestScopeNesting(t *testing.T) {
+	if got := Scope(nil); got != "" {
+		t.Fatalf("Scope(nil) = %q, want empty", got)
+	}
+	ctx := context.Background()
+	if got := Scope(ctx); got != "" {
+		t.Fatalf("Scope(background) = %q, want empty", got)
+	}
+	ctx = WithScope(ctx, "bench")
+	ctx = WithScope(ctx, "") // no-op
+	ctx = WithScope(ctx, "sweep")
+	if got := Scope(ctx); got != "bench/sweep" {
+		t.Fatalf("Scope = %q, want bench/sweep", got)
+	}
+}
+
+// TestMapScopesCellsByIndex checks that every cell — inline or parallel —
+// sees its item index appended to the context scope, identically across
+// worker counts, so parallel traces label events exactly like sequential
+// ones.
+func TestMapScopesCellsByIndex(t *testing.T) {
+	base := WithScope(context.Background(), "exp")
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	collect := func(workers int) []string {
+		e := New(Options{Workers: workers})
+		out, err := Map(base, e, items, func(ctx context.Context, idx, _ int) (string, error) {
+			return Scope(ctx), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := collect(1)
+	par := collect(8)
+	for i := range items {
+		want := fmt.Sprintf("exp/%d", i)
+		if seq[i] != want || par[i] != want {
+			t.Fatalf("cell %d scopes: sequential %q parallel %q, want %q", i, seq[i], par[i], want)
+		}
+	}
+}

@@ -9,22 +9,30 @@ import (
 	"ken/internal/lint/driver"
 )
 
-// ObsHandle enforces the two handle rules of docs/OBSERVABILITY.md's nil
+// ObsHandle enforces the three handle rules of docs/OBSERVABILITY.md's nil
 // fast path. First, metric handles are resolved once at construction time:
 // a Registry.Counter/Gauge/Histogram/Timer lookup inside a loop re-takes
 // the registry mutex and re-hashes the name on every iteration, defeating
 // the "instrumentation must cost nothing" design (and a lookup per
-// iteration is how accidental per-step metric families get minted).
-// Second, handles are already nil-safe, so guarding a call site with
-// `if h != nil` re-introduces the branch the design removed — call the
-// handle unconditionally. (Tracer nil checks are sanctioned — trace
-// emission sites guard to avoid building event payloads — and the obs
-// package itself is excluded since its implementation is the nil checks.)
+// iteration is how accidental per-step metric families get minted). The
+// same applies to scoped trace views: Tracer.WithScope and Observer.Scoped
+// allocate a view per call, so building one inside a loop mints garbage on
+// the hot path — resolve the view once outside. Second, handles are
+// already nil-safe, so guarding a call site with `if h != nil`
+// re-introduces the branch the design removed — call the handle
+// unconditionally. Third, epoch spans have a sanctioned liveness guard:
+// comparing a *obs.Span against nil conflates "no span" with "span on a
+// detached tracer"; emission sites must use sp.Active(). (Tracer and
+// Observer nil checks are sanctioned — trace emission sites guard to
+// avoid building event payloads — and the obs package itself is excluded
+// since its implementation is the nil checks.)
 var ObsHandle = &driver.Analyzer{
 	Name: "obshandle",
-	Doc: "flags obs.Registry metric-handle lookups inside loops (resolve handles " +
-		"once at construction) and nil comparisons against nil-safe metric handles " +
-		"(*obs.Counter/Gauge/Histogram/Timer — call them unconditionally)",
+	Doc: "flags obs.Registry metric-handle lookups and scoped trace-view " +
+		"construction (Tracer.WithScope, Observer.Scoped) inside loops (resolve " +
+		"handles once at construction), nil comparisons against nil-safe metric " +
+		"handles (*obs.Counter/Gauge/Histogram/Timer — call them unconditionally), " +
+		"and nil comparisons against *obs.Span (guard emission with sp.Active())",
 	Scope: driver.ScopeNot("internal/obs"),
 	Run:   runObsHandle,
 }
@@ -34,9 +42,18 @@ var registryLookupNames = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true, "Timer": true,
 }
 
+// scopeViewMethods are the per-receiver methods that mint a scoped trace
+// view; like registry lookups, they belong at construction time, not in
+// loop bodies.
+var scopeViewMethods = map[string]map[string]bool{
+	"Tracer":   {"WithScope": true},
+	"Observer": {"Scoped": true},
+}
+
 // nilSafeHandleNames are the obs types whose methods are nil-safe and
 // which therefore must not be nil-guarded at call sites. Tracer and
-// Observer are deliberately absent (see the analyzer doc).
+// Observer are deliberately absent (see the analyzer doc); Span gets a
+// dedicated diagnostic pointing at Active().
 var nilSafeHandleNames = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true, "Timer": true,
 }
@@ -62,10 +79,15 @@ func runObsHandle(pass *driver.Pass) error {
 			default:
 				return true
 			}
-			if name, ok := obsHandleType(info.TypeOf(other)); ok {
+			switch name, ok := obsHandleType(info.TypeOf(other)); {
+			case ok:
 				pass.Reportf(n.Pos(),
 					"nil check on *obs.%s: handles are nil-safe, call them unconditionally "+
 						"(docs/OBSERVABILITY.md, nil fast path)", name)
+			case isObsSpan(info.TypeOf(other)):
+				pass.Reportf(n.Pos(),
+					"nil check on *obs.Span: spans are nil-safe, guard emission with "+
+						"sp.Active() (docs/OBSERVABILITY.md, causal spans)")
 			}
 		}
 		return true
@@ -91,14 +113,19 @@ func flagLookupsIn(pass *driver.Pass, info *types.Info, body *ast.BlockStmt) {
 			return true
 		}
 		fn := callee(info, call)
-		if fn == nil || !isMethod(fn) || !fromPkg(fn, "internal/obs") || !registryLookupNames[fn.Name()] {
+		if fn == nil || !isMethod(fn) || !fromPkg(fn, "internal/obs") {
 			return true
 		}
-		recv := fn.Type().(*types.Signature).Recv().Type()
-		if name, _ := namedPointee(recv); name == "Registry" {
+		recv, _ := namedPointee(fn.Type().(*types.Signature).Recv().Type())
+		switch {
+		case recv == "Registry" && registryLookupNames[fn.Name()]:
 			pass.Reportf(call.Pos(),
 				"Registry.%s lookup inside a loop: resolve metric handles once at "+
 					"construction time (docs/OBSERVABILITY.md, nil fast path)", fn.Name())
+		case scopeViewMethods[recv][fn.Name()]:
+			pass.Reportf(call.Pos(),
+				"%s.%s builds a scoped trace view inside a loop: resolve the view "+
+					"once outside (docs/OBSERVABILITY.md, nil fast path)", recv, fn.Name())
 		}
 		return true
 	})
@@ -125,6 +152,16 @@ func obsHandleType(t types.Type) (string, bool) {
 		return name, true
 	}
 	return "", false
+}
+
+// isObsSpan reports whether t is *obs.Span.
+func isObsSpan(t types.Type) bool {
+	name, pkg := namedPointee(t)
+	if name != "Span" || pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == "internal/obs" || strings.HasSuffix(p, "/internal/obs")
 }
 
 // namedPointee unwraps *Named and returns the named type's name and

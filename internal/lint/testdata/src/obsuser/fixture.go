@@ -45,3 +45,32 @@ func tracerGuard(tr *obs.Tracer) {
 		_ = tr
 	}
 }
+
+// spanGuards: epoch spans are nil-safe too, but their liveness guard is
+// Active() — a raw nil comparison misses the detached-tracer case.
+func spanGuards(sp *obs.Span) {
+	if sp != nil { // want `nil check on \*obs\.Span`
+		sp.Emit(obs.Event{})
+	}
+	if nil == sp { // want `nil check on \*obs\.Span`
+		return
+	}
+	if sp.Active() { // the sanctioned guard
+		sp.Emit(obs.Event{})
+	}
+}
+
+// scopedViewInLoop: WithScope/Scoped mint a view per call; building one
+// per iteration is the trace-side analogue of a registry lookup in a loop.
+func scopedViewInLoop(tr *obs.Tracer, ob *obs.Observer, n int) {
+	for i := 0; i < n; i++ {
+		_ = tr.WithScope("cell") // want `Tracer\.WithScope builds a scoped trace view inside a loop`
+	}
+	for range make([]int, n) {
+		_ = ob.Scoped("cell") // want `Observer\.Scoped builds a scoped trace view inside a loop`
+	}
+	view := tr.WithScope("once") // approved: resolved outside the loop
+	for i := 0; i < n; i++ {
+		_ = view
+	}
+}

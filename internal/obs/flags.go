@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+)
+
+// CmdFlags is the uniform observability flag block of the cmd binaries:
+// -obs-addr, -trace-out, -trace-timestamps, -log-level and -log-json. It
+// replaces the per-binary copies of the same setup so every binary can
+// produce auditable traces the same way.
+//
+//	var of obs.CmdFlags
+//	of.Register(flag.CommandLine)
+//	flag.Parse()
+//	ob, done, err := of.Setup()
+//	// ... run ...
+//	done()
+type CmdFlags struct {
+	Addr       string
+	TraceOut   string
+	Timestamps bool
+	Log        LogFlags
+}
+
+// Register installs the shared observability flags on the flag set.
+func (c *CmdFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Addr, "obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run (empty = off)")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write protocol event JSONL (epoch spans, reports, applies) to this file for kenaudit")
+	fs.BoolVar(&c.Timestamps, "trace-timestamps", false, "stamp trace events with wall-clock time (enables kenaudit latency histograms, breaks byte-comparable traces)")
+	c.Log.Register(fs)
+}
+
+// Setup configures logging, assembles the observer (registry always;
+// tracer when -trace-out is set) and starts the HTTP endpoint when
+// -obs-addr is set. The returned cleanup flushes and closes the trace
+// sink; call it once the run is over (it is safe to call on the error
+// path too). Errors are returned unlogged so the binary owns its exit.
+func (c CmdFlags) Setup() (*Observer, func(), error) {
+	if _, err := c.Log.Setup(nil); err != nil {
+		return nil, nil, err
+	}
+	ob := &Observer{Reg: NewRegistry()}
+	cleanup := func() {}
+	if c.TraceOut != "" {
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		ob.Trace = NewTracer(f)
+		if c.Timestamps {
+			ob.Trace.StampWallClock()
+		}
+		path := c.TraceOut
+		cleanup = func() {
+			if err := ob.Trace.Flush(); err != nil {
+				slog.Warn("trace flush failed", "err", err)
+			}
+			if err := f.Close(); err != nil {
+				slog.Warn("trace close failed", "err", err)
+			}
+			slog.Info("protocol trace written", "path", path, "events", ob.Trace.Events())
+		}
+	}
+	if c.Addr != "" {
+		_, bound, err := Serve(c.Addr, ob.Reg)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		slog.Info("observability endpoint up", "addr", bound.String(),
+			"paths", "/metrics /debug/vars /debug/pprof/")
+	}
+	return ob, cleanup, nil
+}

@@ -410,3 +410,14 @@ func (o *Observer) Tracer() *Tracer {
 	}
 	return o.Trace
 }
+
+// Scoped returns an Observer whose trace events carry scope (appended to
+// any scope the tracer already has, "/"-separated). Metrics are shared
+// with the receiver. Nil-safe: without a tracer, or with an empty scope,
+// the receiver is returned unchanged.
+func (o *Observer) Scoped(scope string) *Observer {
+	if o == nil || o.Trace == nil || scope == "" {
+		return o
+	}
+	return &Observer{Reg: o.Reg, Trace: o.Trace.WithScope(scope)}
+}

@@ -63,6 +63,43 @@ func TestEmptyHistogramSnapshotIsZero(t *testing.T) {
 	if s := reg.Histogram("h").Snapshot(); s != (obs.HistSnapshot{}) {
 		t.Fatalf("empty snapshot=%+v, want zero", s)
 	}
+	var nilHist *obs.Histogram
+	if s := nilHist.Snapshot(); s != (obs.HistSnapshot{}) {
+		t.Fatalf("nil snapshot=%+v, want zero", s)
+	}
+}
+
+// TestHistogramSingleObservation pins the quantile edge case every
+// percentile of a one-sample distribution is that sample.
+func TestHistogramSingleObservation(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("h")
+	h.Observe(3.5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 3.5 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Fatalf("snapshot=%+v, want count 1 and min=max=sum=3.5", s)
+	}
+	if s.P50 != 3.5 || s.P90 != 3.5 || s.P99 != 3.5 {
+		t.Fatalf("quantiles %v/%v/%v, want all 3.5", s.P50, s.P90, s.P99)
+	}
+}
+
+// TestHistogramAllEqual pins the degenerate distribution: with every
+// observation identical the quantiles must collapse onto that value, not
+// interpolate across the containing bucket.
+func TestHistogramAllEqual(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("h")
+	for i := 0; i < 100; i++ {
+		h.Observe(7)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 700 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("snapshot=%+v, want count 100 sum 700 min=max=7", s)
+	}
+	if s.P50 != 7 || s.P90 != 7 || s.P99 != 7 {
+		t.Fatalf("quantiles %v/%v/%v, want all 7", s.P50, s.P90, s.P99)
+	}
 }
 
 func TestTimerRecordsSeconds(t *testing.T) {

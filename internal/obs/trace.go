@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // EventType names a protocol event. The set covers the observable decision
@@ -15,85 +17,227 @@ type EventType string
 
 const (
 	// EvEpochStart marks the beginning of one sampling epoch (one trace row
-	// replayed, or one simnet round).
+	// replayed, or one simnet round). Its Span is the epoch span id every
+	// event inside the epoch carries in Epoch.
 	EvEpochStart EventType = "epoch_start"
-	// EvEpochEnd closes an epoch; N carries the values reported during it.
+	// EvEpochEnd closes an epoch; N carries the values reported during it
+	// and Payload carries the audit triple (predicted, observed, ε) plus the
+	// epoch's bytes on wire.
 	EvEpochEnd EventType = "epoch_end"
 	// EvReport records a clique source transmitting Attrs/Values to the
 	// sink — the minimal set that pulls predictions back inside ε (§3.2).
+	// Payload carries the source model's predictions for the reported
+	// attributes, the observed values, the bounds, and the bytes on wire.
 	EvReport EventType = "report"
 	// EvSuppress records the attributes a clique did NOT transmit because
 	// the replicated model already predicted them within ε — the savings
 	// the paper's Figs 9/10 plot.
 	EvSuppress EventType = "suppress"
+	// EvApply records the sink replica folding in a delivered report (the
+	// causal tail of an EvReport: Parent links back to the report span).
+	EvApply EventType = "sink_apply"
 	// EvPull records a BBQ-style pull engine acquiring one reading on
 	// demand (attribute in Node, reading in Values).
 	EvPull EventType = "pull_acquire"
+	// EvHop records one link-level radio transmission in simnet (Node is
+	// the transmitter; Payload carries from/to/bytes).
+	EvHop EventType = "net_hop"
+	// EvDrop records a message dying in flight (Detail: "loss", "noroute"
+	// or "dead"); Parent links to the span whose traffic was lost.
+	EvDrop EventType = "net_drop"
 	// EvNodeFailure records a simulated node exhausting its battery.
 	EvNodeFailure EventType = "node_failure"
+	// EvSuspect records the base-station failure detector turning
+	// suspicious about a silent node (§6; N carries the silence length).
+	EvSuspect EventType = "failure_suspect"
 	// EvResync records a full-value heartbeat re-synchronising the
 	// replicated models after possible divergence (§6 message loss).
 	EvResync EventType = "model_resync"
+	// EvRunEnd closes one core.Run replay; Payload carries the Result
+	// totals (steps, values, violations, bytes) the offline auditor checks
+	// the per-epoch accounting against.
+	EvRunEnd EventType = "run_end"
 )
 
-// Event is one structured protocol event. Clique and Node are -1 when not
-// applicable so that index 0 stays unambiguous.
-type Event struct {
-	Type   EventType `json:"type"`
-	Step   int64     `json:"step"`
-	Clique int       `json:"clique"`
-	Node   int       `json:"node"`
-	Attrs  []int     `json:"attrs,omitempty"`
-	Values []float64 `json:"values,omitempty"`
-	N      int       `json:"n,omitempty"`
-	Detail string    `json:"detail,omitempty"`
+// Payload is the typed audit payload of an event. Which fields are set
+// depends on the event type (see docs/OBSERVABILITY.md, "Event schema").
+type Payload struct {
+	// Predicted / Observed / Eps are parallel per-attribute triples: the
+	// model's prediction, the ground truth, and the error bound.
+	Predicted []float64 `json:"pred,omitempty"`
+	Observed  []float64 `json:"obs,omitempty"`
+	Eps       []float64 `json:"eps,omitempty"`
+	// Chunk sequences messages/frames within their epoch (stream frame
+	// index, simnet send sequence).
+	Chunk int `json:"chunk,omitempty"`
+	// Bytes is the payload size on the wire.
+	Bytes int `json:"bytes,omitempty"`
+	// From/To name the endpoints of a link-level transmission (EvHop).
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Run-summary totals (EvRunEnd only).
+	Steps      int `json:"steps,omitempty"`
+	Values     int `json:"values,omitempty"`
+	Violations int `json:"violations,omitempty"`
 }
 
-// Tracer serialises protocol events as JSON Lines. A nil *Tracer is the
-// "tracing off" mode: Emit returns immediately. Emit is safe for
-// concurrent use.
-type Tracer struct {
+// WireBytesPerValue is the first-order cost of one reported (attribute,
+// value) pair on a mote radio: a 2-byte attribute id plus a 2-byte
+// ADC-width reading — the same accounting simnet's Message uses (simnet
+// additionally charges per-message header overhead).
+const WireBytesPerValue = 4
+
+// Event is one structured protocol event. Clique and Node are -1 when not
+// applicable so that index 0 stays unambiguous. Epoch/Span/Parent are the
+// causal span context: Epoch is the enclosing epoch span id, Span the
+// event's own id (when it roots further causation), and Parent the id of
+// the span that caused it (0 = uncaused/root).
+type Event struct {
+	Type    EventType `json:"type"`
+	Step    int64     `json:"step"`
+	Clique  int       `json:"clique"`
+	Node    int       `json:"node"`
+	Epoch   int64     `json:"epoch,omitempty"`
+	Span    int64     `json:"span,omitempty"`
+	Parent  int64     `json:"parent,omitempty"`
+	Scope   string    `json:"scope,omitempty"`
+	TS      int64     `json:"ts,omitempty"` // wall-clock nanos, only with StampWallClock
+	Attrs   []int     `json:"attrs,omitempty"`
+	Values  []float64 `json:"values,omitempty"`
+	N       int       `json:"n,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+	Payload *Payload  `json:"payload,omitempty"`
+}
+
+// TraceKind and TraceSchema identify the JSONL trace format. The first
+// line of every trace written by NewTracer is a TraceHeader; readers
+// reject schemas they do not understand instead of silently decoding
+// partial events.
+const (
+	TraceKind   = "ken-trace"
+	TraceSchema = 2
+)
+
+// TraceHeader is the first JSONL line of a trace file.
+type TraceHeader struct {
+	Kind   string `json:"kind"`
+	Schema int    `json:"schema"`
+}
+
+// tracerCore is the shared sink behind every scoped Tracer view.
+type tracerCore struct {
 	mu     sync.Mutex
 	bw     *bufio.Writer
 	enc    *json.Encoder
 	err    error
 	events int64
+	spans  atomic.Int64
+	stamp  bool
+}
+
+// Tracer serialises protocol events as JSON Lines. A nil *Tracer is the
+// "tracing off" mode: Emit returns immediately. Emit is safe for
+// concurrent use. WithScope derives cheap views that label every event
+// with a scope path, so concurrent experiment cells writing one file stay
+// attributable.
+type Tracer struct {
+	scope string
+	c     *tracerCore
 }
 
 // NewTracer wraps the writer (typically an *os.File) in a buffered JSONL
-// encoder. Call Flush (or Close the underlying file after Flush) when done.
+// encoder and writes the schema header line. Call Flush (or Close the
+// underlying file after Flush) when done.
 func NewTracer(w io.Writer) *Tracer {
 	bw := bufio.NewWriter(w)
-	return &Tracer{bw: bw, enc: json.NewEncoder(bw)}
+	t := &Tracer{c: &tracerCore{bw: bw, enc: json.NewEncoder(bw)}}
+	if err := t.c.enc.Encode(TraceHeader{Kind: TraceKind, Schema: TraceSchema}); err != nil {
+		t.c.err = fmt.Errorf("obs: trace header: %w", err)
+	}
+	return t
 }
 
-// Emit appends one event. The first encoding error sticks and is reported
+// WithScope returns a view of the tracer whose events carry the given
+// scope label, nested under any existing scope with "/". Views share the
+// underlying sink, error state, event count and span id space. Safe on
+// nil; an empty label returns the receiver. Resolve scoped views once per
+// run, not inside hot loops.
+func (t *Tracer) WithScope(scope string) *Tracer {
+	if t == nil || scope == "" {
+		return t
+	}
+	if t.scope != "" {
+		scope = t.scope + "/" + scope
+	}
+	return &Tracer{scope: scope, c: t.c}
+}
+
+// Scope returns the view's scope path ("" for the root view or nil).
+func (t *Tracer) Scope() string {
+	if t == nil {
+		return ""
+	}
+	return t.scope
+}
+
+// StampWallClock makes the tracer stamp every event with wall-clock
+// nanoseconds (Event.TS). Off by default: deterministic pipelines produce
+// byte-comparable traces, and the auditor derives epoch latency only when
+// stamps are present. Clock access stays inside obs, like Timer.
+func (t *Tracer) StampWallClock() {
+	if t == nil {
+		return
+	}
+	t.c.mu.Lock()
+	t.c.stamp = true
+	t.c.mu.Unlock()
+}
+
+// NewSpanID allocates the next span id (monotone per underlying trace,
+// shared across scoped views). 0 on nil.
+func (t *Tracer) NewSpanID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.c.spans.Add(1)
+}
+
+// Emit appends one event, stamping the view's scope (unless the event
+// already carries one). The first encoding error sticks and is reported
 // by Flush; later events are dropped so a broken sink cannot stall the
 // protocol.
 func (t *Tracer) Emit(e Event) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.err != nil {
+	if e.Scope == "" {
+		e.Scope = t.scope
+	}
+	c := t.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
 		return
 	}
-	if err := t.enc.Encode(e); err != nil {
-		t.err = fmt.Errorf("obs: trace emit: %w", err)
+	if c.stamp && e.TS == 0 {
+		e.TS = time.Now().UnixNano()
+	}
+	if err := c.enc.Encode(e); err != nil {
+		c.err = fmt.Errorf("obs: trace emit: %w", err)
 		return
 	}
-	t.events++
+	c.events++
 }
 
-// Events returns how many events were successfully emitted.
+// Events returns how many events were successfully emitted (the header
+// line is not an event).
 func (t *Tracer) Events() int64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.events
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	return t.c.events
 }
 
 // Flush drains the buffer and returns the first error seen (emit or
@@ -102,24 +246,116 @@ func (t *Tracer) Flush() error {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := t.bw.Flush(); err != nil && t.err == nil {
-		t.err = fmt.Errorf("obs: trace flush: %w", err)
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	if err := t.c.bw.Flush(); err != nil && t.c.err == nil {
+		t.c.err = fmt.Errorf("obs: trace flush: %w", err)
 	}
-	return t.err
+	return t.c.err
+}
+
+// Span is a causal epoch context: a handle that stamps every event
+// emitted through it with the enclosing epoch id, its own span id, and
+// its parent link, so an offline auditor can walk report → hop → apply
+// chains. Spans are nil-safe — every method on a nil *Span is a no-op —
+// so instrumented code holds one handle and calls it unconditionally;
+// guard only payload construction, via Active.
+type Span struct {
+	t      *Tracer
+	epoch  int64
+	id     int64
+	parent int64
+}
+
+// StartEpoch allocates an epoch span and emits its EvEpochStart event
+// (the passed event's Type/Epoch/Span/Parent are overwritten). Returns
+// nil on a nil tracer.
+func (t *Tracer) StartEpoch(e Event) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.NewSpanID()
+	e.Type, e.Epoch, e.Span, e.Parent = EvEpochStart, id, id, 0
+	t.Emit(e)
+	return &Span{t: t, epoch: id, id: id}
+}
+
+// Active reports whether emitting through the span reaches a sink — the
+// sanctioned guard for skipping payload construction on the dark path.
+func (s *Span) Active() bool { return s != nil && s.t != nil }
+
+// EpochID returns the enclosing epoch span id (0 on nil).
+func (s *Span) EpochID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.epoch
+}
+
+// ID returns this span's own id (0 on nil).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Child allocates a sub-span parented to this one: events emitted through
+// the child carry Parent = s.ID(). Nil-safe.
+func (s *Span) Child() *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, epoch: s.epoch, id: s.t.NewSpanID(), parent: s.id}
+}
+
+// Emit stamps the span context (Epoch, Span, Parent) onto the event and
+// emits it. Nil-safe.
+func (s *Span) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	e.Epoch, e.Span, e.Parent = s.epoch, s.id, s.parent
+	s.t.Emit(e)
+}
+
+// EndEpoch closes the epoch: emits EvEpochEnd carrying the span context
+// (the passed event's Type/Epoch/Span/Parent are overwritten). Nil-safe.
+func (s *Span) EndEpoch(e Event) {
+	if s == nil {
+		return
+	}
+	e.Type, e.Epoch, e.Span, e.Parent = EvEpochEnd, s.epoch, s.id, s.parent
+	s.t.Emit(e)
 }
 
 // ReadEvents decodes a JSONL stream written by a Tracer — the replay side
-// of protocol tracing.
+// of protocol tracing. A schema header, when present, must match
+// TraceSchema; headerless streams are accepted as the legacy (schema 1)
+// format.
 func ReadEvents(r io.Reader) ([]Event, error) {
 	dec := json.NewDecoder(r)
 	var out []Event
+	first := true
 	for {
-		var e Event
-		if err := dec.Decode(&e); err == io.EOF {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
 			return out, nil
 		} else if err != nil {
+			return out, fmt.Errorf("obs: reading trace event %d: %w", len(out), err)
+		}
+		if first {
+			first = false
+			var hdr TraceHeader
+			if err := json.Unmarshal(raw, &hdr); err == nil && hdr.Kind == TraceKind {
+				if hdr.Schema != TraceSchema {
+					return nil, fmt.Errorf("obs: trace schema %d is not supported (this build reads schema %d); regenerate the trace with a matching build", hdr.Schema, TraceSchema)
+				}
+				continue
+			}
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
 			return out, fmt.Errorf("obs: reading trace event %d: %w", len(out), err)
 		}
 		out = append(out, e)

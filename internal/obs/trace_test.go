@@ -28,8 +28,12 @@ func TestTracerRoundTrip(t *testing.T) {
 	if got := tr.Events(); got != int64(len(in)) {
 		t.Fatalf("Events()=%d, want %d", got, len(in))
 	}
-	if lines := strings.Count(buf.String(), "\n"); lines != len(in) {
-		t.Fatalf("wrote %d JSONL lines, want %d", lines, len(in))
+	// One schema-header line precedes the events.
+	if lines := strings.Count(buf.String(), "\n"); lines != len(in)+1 {
+		t.Fatalf("wrote %d JSONL lines, want %d (events + header)", lines, len(in)+1)
+	}
+	if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], `"schema"`) {
+		t.Fatalf("first line is not a schema header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
 	}
 
 	out, err := obs.ReadEvents(&buf)
@@ -49,6 +53,10 @@ func TestTracerRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTracerConcurrentEmit hammers one tracer core from several scoped
+// views at once (run with -race): every JSONL line must stay intact — no
+// interleaving, no truncation — and Events() must equal the decoded line
+// count.
 func TestTracerConcurrentEmit(t *testing.T) {
 	var buf bytes.Buffer
 	tr := obs.NewTracer(&buf)
@@ -58,8 +66,10 @@ func TestTracerConcurrentEmit(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			view := tr.WithScope(strings.Repeat("w", w+1)) // scoped views share the core
 			for i := 0; i < perWorker; i++ {
-				tr.Emit(obs.Event{Type: obs.EvPull, Step: int64(i), Clique: -1, Node: w})
+				sp := view.StartEpoch(obs.Event{Step: int64(i), Clique: -1, Node: w})
+				sp.EndEpoch(obs.Event{Step: int64(i), Clique: -1, Node: w})
 			}
 		}(w)
 	}
@@ -67,12 +77,42 @@ func TestTracerConcurrentEmit(t *testing.T) {
 	if err := tr.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	const want = workers * perWorker * 2 // epoch_start + epoch_end per iteration
+	if got := tr.Events(); got != int64(want) {
+		t.Fatalf("Events()=%d, want %d", got, want)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != want+1 {
+		t.Fatalf("wrote %d JSONL lines, want %d (events + header)", lines, want+1)
+	}
 	events, err := obs.ReadEvents(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(events) != workers*perWorker {
-		t.Fatalf("read %d events, want %d", len(events), workers*perWorker)
+	if len(events) != want {
+		t.Fatalf("read %d events, want %d", len(events), want)
+	}
+	// Every event must carry its epoch linkage intact.
+	for _, e := range events {
+		if e.Epoch == 0 || e.Scope == "" {
+			t.Fatalf("event lost span or scope under concurrency: %+v", e)
+		}
+	}
+}
+
+// TestReadEventsSchemaGate checks both sides of the version gate: a trace
+// from an unknown schema is rejected with a clear error, and a headerless
+// legacy trace is still accepted.
+func TestReadEventsSchemaGate(t *testing.T) {
+	_, err := obs.ReadEvents(strings.NewReader(`{"kind":"ken-trace","schema":99}` + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "schema 99") {
+		t.Fatalf("unknown schema not rejected clearly: %v", err)
+	}
+	events, err := obs.ReadEvents(strings.NewReader(`{"type":"report","step":3,"clique":0,"node":1}` + "\n"))
+	if err != nil {
+		t.Fatalf("legacy headerless trace rejected: %v", err)
+	}
+	if len(events) != 1 || events[0].Type != obs.EvReport || events[0].Step != 3 {
+		t.Fatalf("legacy trace misread: %+v", events)
 	}
 }
 

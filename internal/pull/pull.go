@@ -66,6 +66,7 @@ type Engine struct {
 	// Observability handles (nil and no-op until Instrument is called).
 	tracer        *obs.Tracer
 	queries       int64
+	querySpan     int64          // span id of the in-flight query, 0 when untraced
 	mQueries      *obs.Counter   // pull_queries_total
 	mAcquisitions *obs.Counter   // pull_acquisitions_total
 	gCost         *obs.Gauge     // pull_acquisition_cost_total
@@ -83,16 +84,26 @@ func (e *Engine) Instrument(ob *obs.Observer) {
 	e.hPerQuery = reg.Histogram("pull_acquisitions_per_query")
 }
 
-// observeAcquire records one on-demand reading acquisition.
+// observeAcquire records one on-demand reading acquisition, parented to
+// the in-flight query's span so the auditor can group a query's
+// acquisitions together.
 func (e *Engine) observeAcquire(attr int, v, cost float64) {
 	e.mAcquisitions.Inc()
 	e.gCost.Add(cost)
 	if e.tracer != nil {
 		e.tracer.Emit(obs.Event{
 			Type: obs.EvPull, Step: e.queries, Clique: -1, Node: attr,
-			Values: []float64{v},
+			Values: []float64{v}, Parent: e.querySpan,
+			Payload: &obs.Payload{Observed: []float64{v}, Bytes: obs.WireBytesPerValue},
 		})
 	}
+}
+
+// beginQuery counts the query and allocates its span id (0 when untraced).
+func (e *Engine) beginQuery() {
+	e.queries++
+	e.mQueries.Inc()
+	e.querySpan = e.tracer.NewSpanID()
 }
 
 // New builds an engine over the model. top may be nil (unit acquisition
@@ -155,8 +166,7 @@ func (e *Engine) Query(q ValueQuery, src Source) (*Answer, error) {
 	if src == nil {
 		return nil, errors.New("pull: nil source")
 	}
-	e.queries++
-	e.mQueries.Inc()
+	e.beginQuery()
 
 	ans := &Answer{}
 	acquired := map[int]bool{}
@@ -261,8 +271,7 @@ func (e *Engine) QueryAverage(q AvgQuery, src Source) (*AvgAnswer, error) {
 	if src == nil {
 		return nil, errors.New("pull: nil source")
 	}
-	e.queries++
-	e.mQueries.Inc()
+	e.beginQuery()
 
 	ans := &AvgAnswer{}
 	acquired := map[int]bool{}

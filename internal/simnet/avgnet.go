@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ken/internal/model"
+	"ken/internal/obs"
 )
 
 // DistributedAverage runs the paper's Average model (Example 3.5, Figure 4)
@@ -121,7 +122,7 @@ func (d *DistributedAverage) Epoch(truth []float64) (EpochResult, error) {
 	if len(truth) != d.n {
 		return EpochResult{}, fmt.Errorf("simnet: truth dim %d, want %d", len(truth), d.n)
 	}
-	d.net.BeginEpoch()
+	sp := d.net.BeginEpoch()
 	res := EpochResult{Estimates: make([]float64, d.n)}
 
 	// Phase 1 — aggregate partial (sum, count) pairs up the tree. Each
@@ -142,8 +143,8 @@ func (d *DistributedAverage) Epoch(truth []float64) (EpochResult, error) {
 		if !d.net.Alive(i) {
 			continue
 		}
-		ok := d.net.Send(Message{From: i, To: d.parent[i],
-			Values: []float64{sums[i], counts[i]}})
+		ok := d.net.SendSpan(Message{From: i, To: d.parent[i],
+			Values: []float64{sums[i], counts[i]}}, sp)
 		if ok {
 			sums[d.parent[i]] += sums[i]
 			counts[d.parent[i]] += counts[i]
@@ -158,7 +159,7 @@ func (d *DistributedAverage) Epoch(truth []float64) (EpochResult, error) {
 	var spread func(v int, avg float64)
 	spread = func(v int, avg float64) {
 		for _, c := range d.children[v] {
-			if !d.net.Send(Message{From: v, To: c, Values: []float64{avg}}) {
+			if !d.net.SendSpan(Message{From: v, To: c, Values: []float64{avg}}, sp) {
 				continue
 			}
 			d.lastAvg[c] = avg
@@ -190,11 +191,27 @@ func (d *DistributedAverage) Epoch(truth []float64) (EpochResult, error) {
 		if d.net.Alive(i) {
 			mean := d.src[i].Mean()
 			if diff := mean[0] - truth[i]; diff > d.eps[i] || diff < -d.eps[i] {
-				if d.net.Send(Message{From: i, To: base, Attrs: []int{i}, Values: []float64{truth[i]}}) {
+				var rs *obs.Span
+				if sp.Active() {
+					rs = sp.Child()
+					rs.Emit(obs.Event{
+						Type: obs.EvReport, Step: int64(d.net.stats.Epochs), Clique: -1, Node: i,
+						Attrs: []int{i}, Values: []float64{truth[i]},
+						Payload: &obs.Payload{
+							Predicted: []float64{mean[0]}, Observed: []float64{truth[i]},
+							Eps: []float64{d.eps[i]}, Bytes: obs.WireBytesPerValue,
+						},
+					})
+				}
+				if d.net.SendSpan(Message{From: i, To: base, Attrs: []int{i}, Values: []float64{truth[i]}}, rs) {
 					if err := d.sink[i].Condition(map[int]float64{0: truth[i]}); err != nil {
 						return EpochResult{}, err
 					}
 					res.ValuesDelivered++
+					rs.Child().Emit(obs.Event{
+						Type: obs.EvApply, Step: int64(d.net.stats.Epochs), Clique: -1, Node: base,
+						Attrs: []int{i}, Values: []float64{truth[i]}, N: 1,
+					})
 				}
 				// The node assumes delivery (no acks): its own replica
 				// conditions regardless.
@@ -208,6 +225,12 @@ func (d *DistributedAverage) Epoch(truth []float64) (EpochResult, error) {
 		if diff := est - truth[i]; diff > d.eps[i] || diff < -d.eps[i] {
 			res.Violations++
 		}
+	}
+	if sp.Active() {
+		sp.EndEpoch(obs.Event{
+			Step: int64(d.net.stats.Epochs), Clique: -1, Node: -1, N: res.ValuesDelivered,
+			Payload: &obs.Payload{Predicted: res.Estimates, Observed: truth, Eps: d.eps},
+		})
 	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"ken/internal/cliques"
 	"ken/internal/model"
+	"ken/internal/obs"
 )
 
 // Program is a distributed data-collection protocol executing over the
@@ -111,7 +112,7 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 	if len(truth) != d.n {
 		return EpochResult{}, fmt.Errorf("simnet: truth dim %d, want %d", len(truth), d.n)
 	}
-	d.net.BeginEpoch()
+	sp := d.net.BeginEpoch()
 	res := EpochResult{Estimates: make([]float64, d.n)}
 	for ci := range d.cl {
 		c := &d.cl[ci]
@@ -129,7 +130,7 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 			if !rootAlive {
 				continue // nobody to collect at
 			}
-			ok := d.net.Send(Message{From: g, To: c.root, Attrs: []int{g}, Values: []float64{truth[g]}})
+			ok := d.net.SendSpan(Message{From: g, To: c.root, Attrs: []int{g}, Values: []float64{truth[g]}}, sp)
 			if ok {
 				avail[i] = truth[g]
 			}
@@ -140,6 +141,10 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 		// predicting from the model (that is the point of Ken).
 		c.src.Step()
 		c.sink.Step()
+		var pred []float64
+		if sp.Active() {
+			pred = append([]float64(nil), c.sink.Mean()...)
+		}
 		var sent map[int]float64
 		if rootAlive && len(avail) > 0 {
 			var err error
@@ -153,10 +158,35 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 		if err := c.src.Condition(sent); err != nil {
 			return EpochResult{}, err
 		}
+		// The report is a child span of the epoch; its unicasts (and any
+		// loss along the way) trace as grandchildren, so the auditor can
+		// tell a silent divergence from an explained one.
+		var rs *obs.Span
+		if sp.Active() && len(sent) > 0 {
+			rs = sp.Child()
+			attrs := make([]int, 0, len(sent))
+			values := make([]float64, 0, len(sent))
+			preds := make([]float64, 0, len(sent))
+			epsR := make([]float64, 0, len(sent))
+			for _, i := range sortedKeys(sent) {
+				attrs = append(attrs, c.members[i])
+				values = append(values, sent[i])
+				preds = append(preds, pred[i])
+				epsR = append(epsR, c.eps[i])
+			}
+			rs.Emit(obs.Event{
+				Type: obs.EvReport, Step: int64(d.net.stats.Epochs), Clique: ci, Node: c.root,
+				Attrs: attrs, Values: values,
+				Payload: &obs.Payload{
+					Predicted: preds, Observed: values, Eps: epsR,
+					Bytes: obs.WireBytesPerValue * len(attrs),
+				},
+			})
+		}
 		delivered := map[int]float64{}
 		for _, i := range sortedKeys(sent) {
 			g := c.members[i]
-			if d.net.Send(Message{From: c.root, To: d.net.Base(), Attrs: []int{g}, Values: []float64{sent[i]}}) {
+			if d.net.SendSpan(Message{From: c.root, To: d.net.Base(), Attrs: []int{g}, Values: []float64{sent[i]}}, rs) {
 				delivered[i] = sent[i]
 			}
 		}
@@ -164,6 +194,18 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 			return EpochResult{}, err
 		}
 		res.ValuesDelivered += len(delivered)
+		if rs.Active() && len(delivered) > 0 {
+			attrs := make([]int, 0, len(delivered))
+			values := make([]float64, 0, len(delivered))
+			for _, i := range sortedKeys(delivered) {
+				attrs = append(attrs, c.members[i])
+				values = append(values, delivered[i])
+			}
+			rs.Child().Emit(obs.Event{
+				Type: obs.EvApply, Step: int64(d.net.stats.Epochs), Clique: ci, Node: d.net.Base(),
+				Attrs: attrs, Values: values, N: len(attrs),
+			})
+		}
 
 		// Phase 3 — the base answers from the sink replica.
 		mean := c.sink.Mean()
@@ -173,6 +215,12 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 				res.Violations++
 			}
 		}
+	}
+	if sp.Active() {
+		sp.EndEpoch(obs.Event{
+			Step: int64(d.net.stats.Epochs), Clique: -1, Node: -1, N: res.ValuesDelivered,
+			Payload: &obs.Payload{Predicted: res.Estimates, Observed: truth, Eps: d.eps},
+		})
 	}
 	return res, nil
 }
@@ -225,11 +273,11 @@ func (d *DistributedTinyDB) Epoch(truth []float64) (EpochResult, error) {
 	if len(truth) != d.n {
 		return EpochResult{}, fmt.Errorf("simnet: truth dim %d, want %d", len(truth), d.n)
 	}
-	d.net.BeginEpoch()
+	sp := d.net.BeginEpoch()
 	res := EpochResult{Estimates: make([]float64, d.n)}
 	for i := 0; i < d.n; i++ {
 		if d.net.Alive(i) &&
-			d.net.Send(Message{From: i, To: d.net.Base(), Attrs: []int{i}, Values: []float64{truth[i]}}) {
+			d.net.SendSpan(Message{From: i, To: d.net.Base(), Attrs: []int{i}, Values: []float64{truth[i]}}, sp) {
 			d.last[i] = truth[i]
 			d.seen[i] = true
 			res.ValuesDelivered++
@@ -242,6 +290,12 @@ func (d *DistributedTinyDB) Epoch(truth []float64) (EpochResult, error) {
 		if diff := d.last[i] - truth[i]; diff > d.eps[i] || diff < -d.eps[i] {
 			res.Violations++
 		}
+	}
+	if sp.Active() {
+		sp.EndEpoch(obs.Event{
+			Step: int64(d.net.stats.Epochs), Clique: -1, Node: -1, N: res.ValuesDelivered,
+			Payload: &obs.Payload{Predicted: res.Estimates, Observed: truth, Eps: d.eps},
+		})
 	}
 	return res, nil
 }

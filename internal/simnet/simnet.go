@@ -98,6 +98,7 @@ type Network struct {
 
 	// Observability handles (nil and no-op until Instrument is called).
 	tracer     *obs.Tracer
+	span       *obs.Span      // current epoch span, set by BeginEpoch
 	mEpochs    *obs.Counter   // simnet_epochs_total
 	mMsgs      *obs.Counter   // simnet_messages_sent_total
 	mBytes     *obs.Counter   // simnet_bytes_sent_total
@@ -182,8 +183,11 @@ func (s *Network) Energy(i int) float64 { return s.energy[i] }
 func (s *Network) Stats() Stats { return s.stats }
 
 // BeginEpoch charges idle energy to every live node and advances the epoch
-// counter. Call once per sampling period before sending traffic.
-func (s *Network) BeginEpoch() {
+// counter. Call once per sampling period before sending traffic. It opens
+// the epoch's causal span (nil when untraced) and returns it so the
+// distributed programs above can parent their traffic to it and close it
+// with their audit payload.
+func (s *Network) BeginEpoch() *obs.Span {
 	s.stats.Epochs++
 	for i := range s.energy {
 		if s.alive[i] {
@@ -192,13 +196,16 @@ func (s *Network) BeginEpoch() {
 	}
 	s.mEpochs.Inc()
 	s.gAlive.Set(float64(s.AliveCount()))
-	if s.tracer != nil {
-		s.tracer.Emit(obs.Event{
-			Type: obs.EvEpochStart, Step: int64(s.stats.Epochs), Clique: -1, Node: -1,
-			N: s.AliveCount(),
-		})
-	}
+	s.span = s.tracer.StartEpoch(obs.Event{
+		Step: int64(s.stats.Epochs), Clique: -1, Node: -1,
+		N: s.AliveCount(), Detail: "simnet",
+	})
+	return s.span
 }
+
+// EpochSpan returns the current epoch's span (nil when untraced or before
+// the first BeginEpoch).
+func (s *Network) EpochSpan() *obs.Span { return s.span }
 
 // spend drains energy from node i, flipping it dead at zero.
 func (s *Network) spend(i int, j float64) {
@@ -233,10 +240,37 @@ func (s *Network) liveVertex(v int) bool {
 // progress toward the destination, charging energy per hop. It returns
 // true when the message reaches its destination. A dead source, a lossy
 // hop, or a partitioned network yields false.
-func (s *Network) Send(msg Message) bool {
+func (s *Network) Send(msg Message) bool { return s.SendSpan(msg, nil) }
+
+// SendSpan routes like Send, additionally tracing every link-level
+// transmission (EvHop, with from/to/bytes in the payload) and any message
+// death (EvDrop, Detail "loss", "noroute" or "dead") through a message
+// span parented to cause — typically the report span whose traffic this
+// is. A nil cause falls back to the current epoch span; with no tracer
+// attached SendSpan is exactly Send.
+func (s *Network) SendSpan(msg Message, cause *obs.Span) bool {
+	//lint:ignore obshandle nil selects the fallback parent span here; emission below still guards with Active()
+	if cause == nil {
+		cause = s.span
+	}
+	var ms *obs.Span
+	if cause.Active() {
+		ms = cause.Child()
+	}
+	step := int64(s.stats.Epochs)
+	drop := func(node int, detail string) {
+		if ms.Active() {
+			ms.Emit(obs.Event{
+				Type: obs.EvDrop, Step: step, Clique: -1, Node: node, Detail: detail,
+				Attrs:   msg.Attrs,
+				Payload: &obs.Payload{From: msg.From, To: msg.To},
+			})
+		}
+	}
 	if !s.liveVertex(msg.From) {
 		s.stats.DroppedNoPath++
 		s.mDropRoute.Inc()
+		drop(msg.From, "dead")
 		return false
 	}
 	bytes := msg.bytes(s.radio.OverheadBytes)
@@ -247,6 +281,7 @@ func (s *Network) Send(msg Message) bool {
 		if err != nil {
 			s.stats.DroppedNoPath++
 			s.mDropRoute.Inc()
+			drop(cur, "noroute")
 			return false
 		}
 		// Transmit.
@@ -255,10 +290,17 @@ func (s *Network) Send(msg Message) bool {
 		s.mMsgs.Inc()
 		s.mBytes.Add(int64(bytes))
 		s.spend(cur, s.radio.TxPerByte*float64(bytes))
+		if ms.Active() {
+			ms.Emit(obs.Event{
+				Type: obs.EvHop, Step: step, Clique: -1, Node: cur,
+				Payload: &obs.Payload{From: cur, To: next, Bytes: bytes},
+			})
+		}
 		// Per-hop loss: energy already spent, message gone.
 		if s.radio.LossRate > 0 && s.rng.Float64() < s.radio.LossRate {
 			s.stats.DroppedLoss++
 			s.mDropLoss.Inc()
+			drop(cur, "loss")
 			return false
 		}
 		// Receive.
@@ -267,6 +309,7 @@ func (s *Network) Send(msg Message) bool {
 			// Receiver died mid-receive; the message is lost.
 			s.stats.DroppedNoPath++
 			s.mDropRoute.Inc()
+			drop(next, "dead")
 			return false
 		}
 		cur = next

@@ -162,6 +162,7 @@ func (s *Source) Collect(truth []float64) (wire.Frame, error) {
 	if len(truth) != s.n {
 		return wire.Frame{}, fmt.Errorf("stream: truth dim %d, want %d", len(truth), s.n)
 	}
+	sp := s.tracer.StartEpoch(obs.Event{Step: int64(s.step), Clique: -1, Node: -1, Detail: "stream"})
 	frame := wire.Frame{Step: s.step}
 	s.sinceHB++
 	heartbeat := s.hbEvery > 0 && s.sinceHB >= s.hbEvery
@@ -203,11 +204,25 @@ func (s *Source) Collect(truth []float64) (wire.Frame, error) {
 	}
 	s.mFrames.Inc()
 	s.mValues.Add(int64(len(frame.Attrs)))
+	if sp.Active() {
+		if len(frame.Attrs) > 0 {
+			sp.Child().Emit(obs.Event{
+				Type: obs.EvReport, Step: int64(s.step), Clique: -1, Node: -1,
+				Attrs: frame.Attrs, Values: frame.Values,
+				Payload: &obs.Payload{
+					Observed: frame.Values, Chunk: int(s.step),
+					Bytes: obs.WireBytesPerValue * len(frame.Attrs),
+				},
+			})
+		}
+		if heartbeat {
+			sp.Emit(obs.Event{Type: obs.EvResync, Step: int64(s.step), Clique: -1, Node: -1})
+		}
+		sp.EndEpoch(obs.Event{Step: int64(s.step), Clique: -1, Node: -1, N: len(frame.Attrs),
+			Payload: &obs.Payload{Bytes: obs.WireBytesPerValue * len(frame.Attrs)}})
+	}
 	if heartbeat {
 		s.mHeartbeats.Inc()
-		if s.tracer != nil {
-			s.tracer.Emit(obs.Event{Type: obs.EvResync, Step: int64(s.step), Clique: -1, Node: -1})
-		}
 	}
 	s.step++
 	return frame, nil
@@ -228,17 +243,19 @@ type Replica struct {
 	frames, heartbeats int
 
 	// Observability handles (nil and no-op until Instrument is called).
+	tracer      *obs.Tracer
 	mFrames     *obs.Counter // stream_frames_applied_total
 	mValues     *obs.Counter // stream_values_applied_total
 	mHeartbeats *obs.Counter // stream_heartbeats_applied_total
 	gStep       *obs.Gauge   // stream_replica_step
 }
 
-// Instrument attaches metrics to the sink endpoint. A nil observer leaves
-// it unobserved (the default).
+// Instrument attaches metrics and sink-apply tracing to the sink endpoint.
+// A nil observer leaves it unobserved (the default).
 func (r *Replica) Instrument(ob *obs.Observer) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.tracer = ob.Tracer()
 	reg := ob.Registry()
 	r.mFrames = reg.Counter("stream_frames_applied_total")
 	r.mValues = reg.Counter("stream_values_applied_total")
@@ -292,6 +309,10 @@ func (r *Replica) Apply(f wire.Frame) error {
 	r.mFrames.Inc()
 	r.mValues.Add(int64(len(f.Attrs)))
 	r.gStep.Set(float64(f.Step))
+	r.tracer.Emit(obs.Event{
+		Type: obs.EvApply, Step: int64(f.Step), Clique: -1, Node: -1,
+		Attrs: f.Attrs, Values: f.Values, N: len(f.Attrs),
+	})
 	if f.Special == wire.KindHeartbeat {
 		r.heartbeats++
 		r.mHeartbeats.Inc()
