@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint fmt-check test race cover bench bench-smoke audit-smoke figures examples fuzz clean
+.PHONY: all check build vet lint fmt-check test race cover bench bench-smoke audit-smoke faults-smoke figures examples fuzz clean
 
 all: build test
 
@@ -62,6 +62,20 @@ audit-smoke:
 	$(GO) run ./cmd/kenaudit -trace "$$tmp/par.jsonl" -strict -q -json "$$tmp/par.json" && \
 	cmp "$$tmp/seq.json" "$$tmp/par.json" && \
 	echo "audit-smoke: PASS (traces audit clean; parallel report == sequential report)"
+
+# faults-smoke proves the reliability layer under fire: the §6 lossy
+# protocol (kensim, 20% report loss with heartbeats) and the full packet
+# simulator (kennet, 20% per-hop loss with ARQ, heartbeats and base-side
+# failure detection), each trace replayed through kenaudit -strict — the
+# auditor must excuse every ε miss by a traced, unrepaired drop and agree
+# with both byte ledgers and the retransmission counts.
+faults-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/kensim -dataset garden -scheme djc -test 400 -loss 0.2 -heartbeat 10 -trace-out "$$tmp/lossy.jsonl" >/dev/null && \
+	$(GO) run ./cmd/kenaudit -trace "$$tmp/lossy.jsonl" -strict -q && \
+	$(GO) run ./cmd/kennet -program ken -steps 200 -loss 0.2 -arq-retries 3 -heartbeat 10 -failure-alpha 0.01 -trace-out "$$tmp/arq.jsonl" >/dev/null && \
+	$(GO) run ./cmd/kenaudit -trace "$$tmp/arq.jsonl" -strict -q && \
+	echo "faults-smoke: PASS (lossy + ARQ traces audit clean at 20% loss)"
 
 # Regenerate every figure of the paper plus the extension/sweep tables.
 figures:

@@ -1,8 +1,10 @@
 // Command kenaudit replays a JSONL protocol trace (written by the
 // pipeline's -trace-out flag) and verifies the Ken invariants offline:
-// the ε-guarantee, silent replica divergence, and byte accounting. It
-// also rolls up per-node / per-clique / per-link communication and a
-// first-order radio energy estimate.
+// the ε-guarantee (drops repaired by ARQ retransmission excuse nothing),
+// silent replica divergence, byte accounting on both the protocol and
+// radio ledgers, and retransmission accounting. It also rolls up
+// per-node / per-clique / per-link communication and a first-order radio
+// energy estimate.
 //
 // Usage:
 //

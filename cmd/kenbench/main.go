@@ -50,15 +50,16 @@ var runners = []struct {
 	{12, bench.Fig12},
 	{13, bench.Fig13},
 	{14, bench.Fig14},
-	// 15 and 16 are not paper figures: they regenerate the beyond-the-paper
-	// extension results and the §5.1 ε / sampling-rate sweeps recorded in
-	// EXPERIMENTS.md.
+	// 15+ are not paper figures: they regenerate the beyond-the-paper
+	// extension results, the §5.1 ε / sampling-rate sweeps recorded in
+	// EXPERIMENTS.md, and the reliability (loss × ARQ/heartbeat) sweep.
 	{15, bench.Extensions},
 	{16, bench.Sweeps},
+	{17, bench.Faults},
 }
 
 func main() {
-	fig := flag.Int("fig", 0, "figure number to regenerate (7-14; 15 = extensions, 16 = sweeps)")
+	fig := flag.Int("fig", 0, "figure number to regenerate (7-14; 15 = extensions, 16 = sweeps, 17 = reliability)")
 	all := flag.Bool("all", false, "regenerate every figure")
 	quick := flag.Bool("quick", false, "use the tiny smoke-test configuration")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
@@ -137,7 +138,7 @@ func main() {
 		fmt.Printf("(figure %d regenerated in %v)\n\n", r.num, elapsed.Round(time.Millisecond))
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "kenbench: unknown figure %d (have 7-16)\n", *fig)
+		fmt.Fprintf(os.Stderr, "kenbench: unknown figure %d (have 7-17)\n", *fig)
 		os.Exit(2)
 	}
 	if *metricsOut != "" {

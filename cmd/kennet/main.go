@@ -9,6 +9,7 @@
 //	kennet -program ken -steps 2160 -battery 0.35
 //	kennet -program tinydb -loss 0.1
 //	kennet -program avg -dataset garden -topology chain
+//	kennet -program ken -loss 0.2 -arq-retries 3 -heartbeat 10 -failure-alpha 0.01
 package main
 
 import (
@@ -35,6 +36,10 @@ func main() {
 	battery := flag.Float64("battery", 0.35, "battery Joules per node")
 	loss := flag.Float64("loss", 0, "per-hop message loss probability")
 	k := flag.Int("k", 2, "clique size for the ken program (adjacent pairs when 2)")
+	arqRetries := flag.Int("arq-retries", 0, "ARQ retransmissions per message (0 = no acks, fire and forget)")
+	retryBudget := flag.Int("retry-budget", 0, "backoff slots spendable per epoch across all messages (0 = unlimited)")
+	heartbeat := flag.Int("heartbeat", 0, "full-value resync every N epochs for the ken program (0 = off)")
+	failureAlpha := flag.Float64("failure-alpha", 0, "per-clique failure detection level at the base (0 = off)")
 	var of obs.CmdFlags
 	of.Register(flag.CommandLine)
 	flag.Parse()
@@ -44,7 +49,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kennet: %v\n", err)
 		os.Exit(2)
 	}
-	err = run(*program, *dataset, *topology, *seed, *train, *steps, *battery, *loss, *k, ob)
+	err = run(runConfig{
+		program: *program, dataset: *dataset, topology: *topology,
+		seed: *seed, trainN: *train, steps: *steps,
+		battery: *battery, loss: *loss, k: *k,
+		arqRetries: *arqRetries, retryBudget: *retryBudget,
+		heartbeat: *heartbeat, failureAlpha: *failureAlpha,
+	}, ob)
 	cleanup()
 	if err != nil {
 		slog.Error("run failed", "err", err)
@@ -52,7 +63,22 @@ func main() {
 	}
 }
 
-func run(program, dataset, topology string, seed int64, trainN, steps int, battery, loss float64, k int, ob *obs.Observer) error {
+// runConfig bundles the simulation knobs so run stays readable.
+type runConfig struct {
+	program, dataset, topology string
+	seed                       int64
+	trainN, steps              int
+	battery, loss              float64
+	k                          int
+	arqRetries, retryBudget    int
+	heartbeat                  int
+	failureAlpha               float64
+}
+
+func run(rc runConfig, ob *obs.Observer) error {
+	program, dataset, topology := rc.program, rc.dataset, rc.topology
+	seed, trainN, steps := rc.seed, rc.trainN, rc.steps
+	battery, loss, k := rc.battery, rc.loss, rc.k
 	var (
 		tr  *trace.Trace
 		err error
@@ -104,6 +130,8 @@ func run(program, dataset, topology string, seed int64, trainN, steps int, batte
 	radio.BatteryJ = battery
 	radio.IdlePerEpoch = 2e-5
 	radio.LossRate = loss
+	radio.ARQ.MaxRetries = rc.arqRetries
+	radio.ARQ.RetryBudget = rc.retryBudget
 	net, err := simnet.New(top, radio, seed)
 	if err != nil {
 		return err
@@ -132,7 +160,8 @@ func run(program, dataset, topology string, seed int64, trainN, steps int, batte
 			part.Cliques = append(part.Cliques, cliques.Clique{
 				Members: members, Root: members[len(members)-1]})
 		}
-		prog, err = simnet.NewDistributedKen(net, part, train, eps, model.FitConfig{Period: 24})
+		prog, err = simnet.NewDistributedKenConfig(net, part, train, eps, model.FitConfig{Period: 24},
+			simnet.KenNetConfig{HeartbeatEvery: rc.heartbeat, FailureAlpha: rc.failureAlpha})
 	default:
 		return fmt.Errorf("unknown program %q", program)
 	}
@@ -140,7 +169,7 @@ func run(program, dataset, topology string, seed int64, trainN, steps int, batte
 		return err
 	}
 
-	delivered, violations := 0, 0
+	delivered, violations, staleReadings := 0, 0, 0
 	firstDeath := -1
 	for t, row := range test {
 		res, err := prog.Epoch(row)
@@ -149,6 +178,11 @@ func run(program, dataset, topology string, seed int64, trainN, steps int, batte
 		}
 		delivered += res.ValuesDelivered
 		violations += res.Violations
+		for _, s := range res.Stale {
+			if s {
+				staleReadings++
+			}
+		}
 		if firstDeath < 0 && net.AliveCount() < n {
 			firstDeath = t + 1
 		}
@@ -169,6 +203,12 @@ func run(program, dataset, topology string, seed int64, trainN, steps int, batte
 		100*float64(violations)/float64(len(test)*n))
 	fmt.Printf("link messages  %d (%d bytes, %d lost, %d unroutable)\n",
 		st.MessagesSent, st.BytesSent, st.DroppedLoss, st.DroppedNoPath)
+	if rc.arqRetries > 0 {
+		fmt.Printf("reliability    %d retransmissions, %d acks\n", st.Retransmits, st.Acks)
+	}
+	if rc.failureAlpha > 0 {
+		fmt.Printf("suspected      %d readings flagged stale by the failure detector\n", staleReadings)
+	}
 	fmt.Printf("energy spent   %.3f J across the network\n", st.EnergySpent)
 	return nil
 }

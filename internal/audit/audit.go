@@ -21,8 +21,19 @@
 //     apply steps never regress. Replicas may diverge under loss, but
 //     never silently.
 //  3. byte accounting — per-epoch bytes sum to the run_end totals, as do
-//     values and steps, and the report events inside an epoch account for
-//     exactly the epoch's bytes.
+//     values and steps, and each layer's ledger is verified against its
+//     own events: the protocol ledger (epoch_end Bytes vs the report
+//     payloads inside the epoch) and, for simnet traces, the radio ledger
+//     (epoch_end LinkBytes vs the net_hop bytes inside the epoch). The
+//     two ledgers are NOT compared to each other — see
+//     docs/OBSERVABILITY.md, "Two byte ledgers".
+//  4. retx accounting — every epoch's declared retransmission count
+//     matches the net_retx events inside it.
+//
+// Under ARQ a drop only excuses an ε miss while it stays unrepaired: a
+// dropped report whose attributes were all still applied at the sink (a
+// retransmit got through) explains nothing and is not counted as a
+// failure cause.
 //
 // On top of the invariants the auditor rolls up per-node, per-clique and
 // per-link communication (messages, bytes, and a first-order energy
@@ -51,6 +62,7 @@ const (
 	InvEpsilon    = "epsilon-bound"
 	InvDivergence = "silent-divergence"
 	InvBytes      = "byte-accounting"
+	InvRetx       = "retx-accounting"
 )
 
 // epsSlack mirrors core.Run's audit tolerance.
@@ -112,6 +124,8 @@ type NodeStats struct {
 	Values     int     `json:"values"`
 	Suppressed int     `json:"suppressed"`
 	Pulls      int     `json:"pulls"`
+	Retx       int     `json:"retx,omitempty"`
+	Acks       int     `json:"acks,omitempty"`
 	Suspected  int     `json:"suspected,omitempty"`
 	Died       bool    `json:"died,omitempty"`
 	EnergyJ    float64 `json:"energy_j"`
@@ -258,6 +272,8 @@ type epochRec struct {
 	endTS       int64
 	reportBytes int
 	hasReports  bool
+	hopBytes    int // radio ledger: sum of net_hop bytes inside the epoch
+	retx        int // net_retx events inside the epoch
 }
 
 // reportRec tracks the causal tail of one report span.
@@ -267,6 +283,16 @@ type reportRec struct {
 	applied   map[int]bool
 	dropped   map[int]bool
 	blindDrop bool // a drop without attribute info covers the whole report
+}
+
+// dropRec defers the "does this drop excuse an ε miss" decision to the
+// end of the segment: a drop inside a report span whose attributes were
+// all applied anyway (an ARQ retransmit repaired it) caused no divergence
+// and must not excuse anything.
+type dropRec struct {
+	step  int64
+	rr    *reportRec
+	attrs []int
 }
 
 // epsMiss is one audited out-of-ε reading.
@@ -288,7 +314,8 @@ func (a *Auditor) auditSegment(scope string, segIdx int, events []obs.Event, rep
 	var runEnd *obs.Event
 	spannedApplies := false
 	watermark := map[int]int64{}
-	var failSteps []int64 // steps with recorded loss or node death
+	var failSteps []int64 // steps with recorded node death or unrepaired loss
+	var drops []dropRec   // classified after the loop, once applies are known
 
 	violate := func(v Violation) {
 		v.Scope, v.Segment = scope, segIdx
@@ -360,8 +387,9 @@ func (a *Auditor) auditSegment(scope string, segIdx int, events []obs.Event, rep
 				}
 			}
 		case obs.EvDrop:
-			failSteps = append(failSteps, e.Step)
-			if rr := reportFor(reportBySpan, parentOf, e.Parent); rr != nil {
+			rr := reportFor(reportBySpan, parentOf, e.Parent)
+			drops = append(drops, dropRec{step: e.Step, rr: rr, attrs: e.Attrs})
+			if rr != nil {
 				if len(e.Attrs) == 0 {
 					rr.blindDrop = true
 				}
@@ -369,10 +397,38 @@ func (a *Auditor) auditSegment(scope string, segIdx int, events []obs.Event, rep
 					rr.dropped[attr] = true
 				}
 			}
+		case obs.EvHop:
+			if er := byID[e.Epoch]; er != nil && e.Payload != nil {
+				er.hopBytes += e.Payload.Bytes
+			}
+		case obs.EvRetx:
+			if er := byID[e.Epoch]; er != nil {
+				er.retx++
+			}
 		case obs.EvNodeFailure:
 			failSteps = append(failSteps, e.Step)
 		case obs.EvRunEnd:
 			runEnd = e
+		}
+	}
+
+	// A drop excuses misses only while unrepaired: if every attribute it
+	// lost was applied at the sink anyway, a retransmit repaired it and the
+	// replicas never diverged. Drops outside a report span (member-to-root
+	// collection traffic, dead-source drops) cannot be proven repaired and
+	// stay valid excuses.
+	for _, d := range drops {
+		repaired := d.rr != nil && len(d.attrs) > 0
+		if repaired {
+			for _, attr := range d.attrs {
+				if !d.rr.applied[attr] {
+					repaired = false
+					break
+				}
+			}
+		}
+		if !repaired {
+			failSteps = append(failSteps, d.step)
 		}
 	}
 
@@ -463,7 +519,10 @@ func (a *Auditor) auditSegment(scope string, segIdx int, events []obs.Event, rep
 		}
 	}
 
-	// Invariant 3 — byte accounting, reconciled against run_end totals.
+	// Invariant 3 — byte accounting. Each ledger is checked against its
+	// own layer: the protocol ledger (epoch Bytes vs the report payloads
+	// inside it) and the radio ledger (epoch LinkBytes vs the net_hop
+	// bytes inside it). Invariant 4 does the same for retransmissions.
 	sumBytes, sumN := 0, 0
 	for _, er := range epochs {
 		if er.end == nil {
@@ -471,9 +530,19 @@ func (a *Auditor) auditSegment(scope string, segIdx int, events []obs.Event, rep
 		}
 		sumBytes += er.bytes
 		sumN += er.n
-		if runEnd != nil && er.hasReports && er.reportBytes != er.bytes {
+		if (runEnd != nil || er.bytes != 0) && er.hasReports && er.reportBytes != er.bytes {
 			violate(Violation{Invariant: InvBytes, Epoch: er.ord, Step: er.step, Clique: -1, Node: -1,
 				Detail: fmt.Sprintf("report events carry %d bytes but the epoch accounts %d", er.reportBytes, er.bytes)})
+		}
+		if p := er.end.Payload; p != nil {
+			if p.LinkBytes != er.hopBytes {
+				violate(Violation{Invariant: InvBytes, Epoch: er.ord, Step: er.step, Clique: -1, Node: -1,
+					Detail: fmt.Sprintf("net_hop events carry %d link bytes but the epoch declares %d", er.hopBytes, p.LinkBytes)})
+			}
+			if p.Retx != er.retx {
+				violate(Violation{Invariant: InvRetx, Epoch: er.ord, Step: er.step, Clique: -1, Node: -1,
+					Detail: fmt.Sprintf("trace shows %d retransmissions but the epoch declares %d", er.retx, p.Retx)})
+			}
 		}
 	}
 	if declared != nil {
@@ -645,6 +714,14 @@ func (a *Auditor) rollup(scopes []string, byScope map[string][]obs.Event, rep *R
 			case obs.EvPull:
 				if e.Node >= 0 {
 					node(e.Node).Pulls++
+				}
+			case obs.EvRetx:
+				if e.Node >= 0 {
+					node(e.Node).Retx++
+				}
+			case obs.EvAck:
+				if e.Node >= 0 {
+					node(e.Node).Acks++
 				}
 			case obs.EvSuspect:
 				if e.Node >= 0 {

@@ -60,15 +60,15 @@ func (r *Report) WriteMarkdown(w io.Writer) error {
 
 	if len(r.Nodes) > 0 {
 		p.f("## Nodes\n\n")
-		p.f("| node | tx msgs | tx bytes | rx bytes | reports | values | suppressed | pulls | energy (J) |\n")
-		p.f("|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		p.f("| node | tx msgs | tx bytes | rx bytes | reports | values | suppressed | pulls | retx | acks | energy (J) |\n")
+		p.f("|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
 		for _, n := range r.Nodes {
 			name := fmt.Sprintf("%d", n.Node)
 			if n.Died {
 				name += " †"
 			}
-			p.f("| %s | %d | %d | %d | %d | %d | %d | %d | %.6g |\n",
-				name, n.TxMessages, n.TxBytes, n.RxBytes, n.Reports, n.Values, n.Suppressed, n.Pulls, n.EnergyJ)
+			p.f("| %s | %d | %d | %d | %d | %d | %d | %d | %d | %d | %.6g |\n",
+				name, n.TxMessages, n.TxBytes, n.RxBytes, n.Reports, n.Values, n.Suppressed, n.Pulls, n.Retx, n.Acks, n.EnergyJ)
 		}
 		p.f("\n")
 	}

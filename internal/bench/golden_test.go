@@ -24,6 +24,7 @@ var goldenRunners = []struct {
 	{"Fig14", Fig14},
 	{"Extensions", Extensions},
 	{"Sweeps", Sweeps},
+	{"Faults", Faults},
 }
 
 // render runs one figure on the given engine and returns its padded-text

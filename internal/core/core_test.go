@@ -496,7 +496,7 @@ func TestFailureDetector(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Threshold for rate 0.4, alpha 0.01: ceil(ln 0.01 / ln 0.6) = 10.
+	// Threshold for rate 0.4, alpha 0.01: floor(ln 0.01 / ln 0.6) + 1 = 10.
 	if th := d.SilenceThreshold(); th != 10 {
 		t.Fatalf("threshold = %d, want 10", th)
 	}

@@ -20,6 +20,7 @@ type FailureDetector struct {
 	silent int
 
 	tracer    *obs.Tracer
+	clique    int
 	node      int
 	steps     int64
 	suspected bool
@@ -35,15 +36,18 @@ func NewFailureDetector(rate, alpha float64) (*FailureDetector, error) {
 	if alpha <= 0 || alpha >= 1 {
 		return nil, fmt.Errorf("core: alpha %v must be in (0,1)", alpha)
 	}
-	return &FailureDetector{rate: rate, alpha: alpha}, nil
+	return &FailureDetector{rate: rate, alpha: alpha, clique: -1}, nil
 }
 
-// Instrument attaches protocol tracing for the node this detector watches:
-// each time silence newly crosses the suspicion threshold, one EvSuspect
-// event is emitted (N carries the silence length). Resolve the tracer once
-// at setup, not per step.
-func (d *FailureDetector) Instrument(tr *obs.Tracer, node int) {
+// Instrument attaches protocol tracing for the clique/node this detector
+// watches (clique -1 when the detector guards a single node): each time
+// silence newly crosses the suspicion threshold, one EvSuspect event is
+// emitted (N carries the silence length; the payload carries the silence
+// probability against its alpha bound). Resolve the tracer once at setup,
+// not per step.
+func (d *FailureDetector) Instrument(tr *obs.Tracer, clique, node int) {
 	d.tracer = tr
+	d.clique = clique
 	d.node = node
 }
 
@@ -62,8 +66,12 @@ func (d *FailureDetector) Observe(reported bool) bool {
 		d.suspected = true
 		if d.tracer != nil {
 			d.tracer.Emit(obs.Event{
-				Type: obs.EvSuspect, Step: d.steps - 1, Clique: -1, Node: d.node,
+				Type: obs.EvSuspect, Step: d.steps - 1, Clique: d.clique, Node: d.node,
 				N: d.silent,
+				Payload: &obs.Payload{
+					Observed: []float64{math.Pow(1-d.rate, float64(d.silent))},
+					Eps:      []float64{d.alpha},
+				},
 			})
 		}
 	}
@@ -79,7 +87,10 @@ func (d *FailureDetector) Suspect() bool {
 func (d *FailureDetector) SilentSteps() int { return d.silent }
 
 // SilenceThreshold returns the smallest silence length that triggers
-// suspicion — useful for documentation and tests.
+// suspicion — useful for documentation and tests. Suspect uses a strict
+// inequality, so the threshold is the first integer strictly beyond the
+// ratio log(alpha)/log1p(-rate): Floor(ratio)+1, not Ceil(ratio), which
+// undercounts by one exactly when the ratio is integral.
 func (d *FailureDetector) SilenceThreshold() int {
-	return int(math.Ceil(math.Log(d.alpha) / math.Log1p(-d.rate)))
+	return int(math.Floor(math.Log(d.alpha)/math.Log1p(-d.rate))) + 1
 }

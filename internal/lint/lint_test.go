@@ -17,6 +17,10 @@ func TestNondeterminism(t *testing.T) {
 	driver.AnalysisTest(t, lint.Nondeterminism, fixture("internal", "bench"))
 }
 
+func TestNondeterminismSimnet(t *testing.T) {
+	driver.AnalysisTest(t, lint.Nondeterminism, fixture("internal", "simnet"))
+}
+
 func TestMapRange(t *testing.T) {
 	driver.AnalysisTest(t, lint.MapRange, fixture("maprange"))
 }
@@ -74,6 +78,7 @@ func TestScopes(t *testing.T) {
 		{lint.Nondeterminism, "internal/engine", true},
 		{lint.Nondeterminism, "internal/trace", true},
 		{lint.Nondeterminism, "internal/mc", true},
+		{lint.Nondeterminism, "internal/simnet", true},
 		{lint.Nondeterminism, "internal/core", false},
 		{lint.Nondeterminism, "cmd/kenbench", false},
 		{lint.FloatEq, "internal/stats", true},

@@ -17,10 +17,11 @@ var Nondeterminism = &driver.Analyzer{
 	Name: "nondeterminism",
 	Doc: "flags wall-clock reads (time.Now/Since/Until), process-global math/rand " +
 		"draws, and RNGs seeded from the clock inside the deterministic packages " +
-		"(internal/bench, internal/engine, internal/trace, internal/mc); seed a local " +
-		"rand.New(rand.NewSource(engine.CellSeed(base, labels...))) instead",
-	Scope: driver.ScopeIn("internal/bench", "internal/engine", "internal/trace", "internal/mc"),
-	Run:   runNondeterminism,
+		"(internal/bench, internal/engine, internal/trace, internal/mc, internal/simnet); " +
+		"seed a local rand.New(rand.NewSource(engine.CellSeed(base, labels...))) instead",
+	Scope: driver.ScopeIn("internal/bench", "internal/engine", "internal/trace", "internal/mc",
+		"internal/simnet"),
+	Run: runNondeterminism,
 }
 
 // globalRandFuncs are the math/rand (and math/rand/v2) package-level

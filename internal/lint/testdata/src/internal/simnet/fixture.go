@@ -1,0 +1,31 @@
+// Package simnet is a kenlint fixture at the scope path internal/simnet:
+// the network simulator's loss coins and ARQ backoff draws must come from
+// the seeded per-network rng — motes have no wall clock, and replayed
+// traces must be byte-identical — so the nondeterminism analyzer patrols
+// it like the other deterministic packages.
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func backoffFromClock(attempt int) int {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from the wall clock` `wall-clock time\.Now`
+	return 1 + rng.Intn(1<<uint(attempt))
+}
+
+func backoffFromGlobal(attempt int) int {
+	return 1 + rand.Intn(1<<uint(attempt)) // want `global rand\.Intn`
+}
+
+func retryTimeout() time.Duration {
+	deadline := time.Now()      // want `wall-clock time\.Now`
+	return time.Until(deadline) // want `wall-clock time\.Until`
+}
+
+// backoffSeeded is the approved pattern simnet.SendReliable uses: the
+// slots come from the network's own deterministic generator.
+func backoffSeeded(rng *rand.Rand, attempt int) int {
+	return 1 + rng.Intn(1<<uint(attempt))
+}

@@ -47,6 +47,14 @@ const (
 	EvDrop EventType = "net_drop"
 	// EvNodeFailure records a simulated node exhausting its battery.
 	EvNodeFailure EventType = "node_failure"
+	// EvRetx records an ARQ retransmission: the sender heard no ack and is
+	// re-sending (N carries the backoff slots drawn, Payload.Attempt the
+	// 1-based retransmission number).
+	EvRetx EventType = "net_retx"
+	// EvAck records a link-layer acknowledgement completing its return trip
+	// to the original sender (Payload carries the ack's endpoints and wire
+	// bytes).
+	EvAck EventType = "net_ack"
 	// EvSuspect records the base-station failure detector turning
 	// suspicious about a silent node (§6; N carries the silence length).
 	EvSuspect EventType = "failure_suspect"
@@ -75,6 +83,16 @@ type Payload struct {
 	// From/To name the endpoints of a link-level transmission (EvHop).
 	From int `json:"from,omitempty"`
 	To   int `json:"to,omitempty"`
+	// Attempt is the 1-based retransmission number of an EvRetx.
+	Attempt int `json:"attempt,omitempty"`
+	// Retx and LinkBytes are per-epoch radio-ledger totals declared on an
+	// EvEpochEnd: retransmissions issued and link-level bytes transmitted
+	// (every hop of every message, acks included). They are audited against
+	// the epoch's EvRetx/EvHop events, while Bytes is audited against the
+	// protocol ledger of EvReport payloads — see docs/OBSERVABILITY.md,
+	// "Two byte ledgers".
+	Retx      int `json:"retx,omitempty"`
+	LinkBytes int `json:"link_bytes,omitempty"`
 	// Run-summary totals (EvRunEnd only).
 	Steps      int `json:"steps,omitempty"`
 	Values     int `json:"values,omitempty"`

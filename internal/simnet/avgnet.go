@@ -175,6 +175,7 @@ func (d *DistributedAverage) Epoch(truth []float64) (EpochResult, error) {
 	}()
 
 	// Phase 3 — per-node prediction and reporting.
+	reportBytes := 0
 	for i := 0; i < d.n; i++ {
 		d.src[i].Step()
 		d.sink[i].Step()
@@ -191,6 +192,7 @@ func (d *DistributedAverage) Epoch(truth []float64) (EpochResult, error) {
 		if d.net.Alive(i) {
 			mean := d.src[i].Mean()
 			if diff := mean[0] - truth[i]; diff > d.eps[i] || diff < -d.eps[i] {
+				reportBytes += obs.WireBytesPerValue
 				var rs *obs.Span
 				if sp.Active() {
 					rs = sp.Child()
@@ -229,7 +231,11 @@ func (d *DistributedAverage) Epoch(truth []float64) (EpochResult, error) {
 	if sp.Active() {
 		sp.EndEpoch(obs.Event{
 			Step: int64(d.net.stats.Epochs), Clique: -1, Node: -1, N: res.ValuesDelivered,
-			Payload: &obs.Payload{Predicted: res.Estimates, Observed: truth, Eps: d.eps},
+			Payload: &obs.Payload{
+				Predicted: res.Estimates, Observed: truth, Eps: d.eps,
+				Bytes:     reportBytes,
+				LinkBytes: d.net.EpochLinkBytes(), Retx: d.net.EpochRetransmits(),
+			},
 		})
 	}
 	return res, nil

@@ -2,9 +2,11 @@ package simnet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"ken/internal/cliques"
+	"ken/internal/core"
 	"ken/internal/model"
 	"ken/internal/obs"
 )
@@ -28,6 +30,29 @@ type EpochResult struct {
 	// Violations counts nodes whose estimate missed ε this epoch — caused
 	// only by message loss or dead nodes; zero on a clean network.
 	Violations int
+	// Stale flags estimates served from a clique the base-station failure
+	// detector currently suspects — graceful degradation instead of
+	// silently serving possibly-dead sources. Nil when failure detection
+	// is disabled (KenNetConfig.FailureAlpha == 0).
+	Stale []bool
+	// SuspectedCliques counts cliques currently under suspicion.
+	SuspectedCliques int
+}
+
+// KenNetConfig tunes DistributedKen's reliability layer. The zero value
+// reproduces the bare protocol (no heartbeats, no failure detection);
+// message-level ARQ is configured separately on the Radio.
+type KenNetConfig struct {
+	// HeartbeatEvery makes every HeartbeatEvery-th epoch a heartbeat: the
+	// root ships ALL values it collected (not the minimal report set),
+	// re-synchronising the sink replica so divergence after loss is
+	// transient per the Markov argument of §6. 0 disables.
+	HeartbeatEvery int
+	// FailureAlpha, when > 0, wires one core.FailureDetector per clique
+	// at the base station, fed by report arrivals: a clique whose silence
+	// is less probable than FailureAlpha under its fitted report rate is
+	// suspected and its estimates are flagged Stale in EpochResult.
+	FailureAlpha float64
 }
 
 // DistributedKen runs Ken as true node programs over the simulator:
@@ -41,10 +66,12 @@ type EpochResult struct {
 // members leave the root partially informed, lost reports desynchronise
 // the replicas, and dead roots silence whole cliques.
 type DistributedKen struct {
-	net *Network
-	eps []float64
-	n   int
-	cl  []distClique
+	net   *Network
+	eps   []float64
+	n     int
+	cl    []distClique
+	cfg   KenNetConfig
+	epoch int // local epoch counter scheduling heartbeats
 }
 
 type distClique struct {
@@ -53,12 +80,21 @@ type distClique struct {
 	src     model.Model // executes at the clique root
 	sink    model.Model // executes at the base station
 	eps     []float64
+	det     *core.FailureDetector // at the base; nil when detection is off
 }
 
 var _ Program = (*DistributedKen)(nil)
 
-// NewDistributedKen fits per-clique models and installs the node programs.
+// NewDistributedKen fits per-clique models and installs the node programs
+// with the bare protocol (KenNetConfig zero value).
 func NewDistributedKen(net *Network, part *cliques.Partition, train [][]float64, eps []float64, fitCfg model.FitConfig) (*DistributedKen, error) {
+	return NewDistributedKenConfig(net, part, train, eps, fitCfg, KenNetConfig{})
+}
+
+// NewDistributedKenConfig is NewDistributedKen with an explicit
+// reliability configuration. Instrument the network before constructing
+// the program so the failure detectors share its tracer.
+func NewDistributedKenConfig(net *Network, part *cliques.Partition, train [][]float64, eps []float64, fitCfg model.FitConfig, cfg KenNetConfig) (*DistributedKen, error) {
 	if net == nil {
 		return nil, fmt.Errorf("simnet: nil network")
 	}
@@ -75,7 +111,13 @@ func NewDistributedKen(net *Network, part *cliques.Partition, train [][]float64,
 	if err := part.Validate(n); err != nil {
 		return nil, err
 	}
-	d := &DistributedKen{net: net, eps: append([]float64(nil), eps...), n: n}
+	if cfg.HeartbeatEvery < 0 {
+		return nil, fmt.Errorf("simnet: heartbeat interval %d must be >= 0", cfg.HeartbeatEvery)
+	}
+	if cfg.FailureAlpha < 0 || cfg.FailureAlpha >= 1 {
+		return nil, fmt.Errorf("simnet: failure alpha %v outside [0,1)", cfg.FailureAlpha)
+	}
+	d := &DistributedKen{net: net, eps: append([]float64(nil), eps...), n: n, cfg: cfg}
 	for _, c := range part.Cliques {
 		cols := make([][]float64, len(train))
 		for t, row := range train {
@@ -93,15 +135,62 @@ func NewDistributedKen(net *Network, part *cliques.Partition, train [][]float64,
 		for i, g := range c.Members {
 			le[i] = eps[g]
 		}
-		d.cl = append(d.cl, distClique{
+		dc := distClique{
 			members: append([]int(nil), c.Members...),
 			root:    c.Root,
 			src:     mdl.Clone(),
 			sink:    mdl.Clone(),
 			eps:     le,
-		})
+		}
+		if cfg.FailureAlpha > 0 {
+			det, err := core.NewFailureDetector(reportRate(mdl, cols, le, cfg.HeartbeatEvery), cfg.FailureAlpha)
+			if err != nil {
+				return nil, fmt.Errorf("simnet: failure detector for clique %v: %w", c.Members, err)
+			}
+			det.Instrument(net.tracer, len(d.cl), c.Root)
+			dc.det = det
+		}
+		d.cl = append(d.cl, dc)
 	}
 	return d, nil
+}
+
+// reportRate estimates a clique's per-epoch report probability by
+// replaying the training rows through a clone of the fitted model and
+// counting epochs with a non-empty minimal report set — the m_C the
+// failure detector needs (§6). Heartbeats guarantee a report at least
+// every hb epochs, so they floor the rate; the result is clamped away
+// from {0,1} to keep the detector's log-probabilities finite.
+func reportRate(m model.Model, rows [][]float64, eps []float64, hb int) float64 {
+	clone := m.Clone()
+	reports := 0
+	for _, row := range rows {
+		clone.Step()
+		avail := make(map[int]float64, len(row))
+		for i, v := range row {
+			avail[i] = v
+		}
+		sent, err := model.ChooseReportGreedyPartial(clone, avail, eps)
+		if err != nil {
+			break // fall through to the clamped estimate so far
+		}
+		if len(sent) > 0 {
+			reports++
+		}
+		if err := clone.Condition(sent); err != nil {
+			break
+		}
+	}
+	rate := 0.0
+	if len(rows) > 0 {
+		rate = float64(reports) / float64(len(rows))
+	}
+	if hb > 0 {
+		if floor := 1 / float64(hb); rate < floor {
+			rate = floor
+		}
+	}
+	return math.Min(0.98, math.Max(0.02, rate))
 }
 
 // Name implements Program.
@@ -113,11 +202,23 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 		return EpochResult{}, fmt.Errorf("simnet: truth dim %d, want %d", len(truth), d.n)
 	}
 	sp := d.net.BeginEpoch()
+	d.epoch++
+	heartbeat := d.cfg.HeartbeatEvery > 0 && d.epoch%d.cfg.HeartbeatEvery == 0
+	if heartbeat && sp.Active() {
+		sp.Emit(obs.Event{Type: obs.EvResync, Step: int64(d.net.stats.Epochs), Clique: -1, Node: -1})
+	}
 	res := EpochResult{Estimates: make([]float64, d.n)}
+	if d.cfg.FailureAlpha > 0 {
+		res.Stale = make([]bool, d.n)
+	}
+	reportBytes := 0
 	for ci := range d.cl {
 		c := &d.cl[ci]
 		// Phase 1 — intra-source collection: each live member ships its
 		// reading to the clique root (the root's own reading is local).
+		// Members cannot know whether the root is still alive, so they
+		// transmit regardless, burning Tx energy; the message dies at a
+		// dead receiver.
 		avail := map[int]float64{}
 		rootAlive := d.net.Alive(c.root)
 		for i, g := range c.members {
@@ -127,10 +228,7 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 				}
 				continue
 			}
-			if !rootAlive {
-				continue // nobody to collect at
-			}
-			ok := d.net.SendSpan(Message{From: g, To: c.root, Attrs: []int{g}, Values: []float64{truth[g]}}, sp)
+			ok := d.net.SendReliable(Message{From: g, To: c.root, Attrs: []int{g}, Values: []float64{truth[g]}}, sp)
 			if ok {
 				avail[i] = truth[g]
 			}
@@ -147,10 +245,16 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 		}
 		var sent map[int]float64
 		if rootAlive && len(avail) > 0 {
-			var err error
-			sent, err = model.ChooseReportGreedyPartial(c.src, avail, c.eps)
-			if err != nil {
-				return EpochResult{}, err
+			if heartbeat {
+				// Heartbeat: ship everything the root collected, not the
+				// minimal set — a full resync of the sink replica (§6).
+				sent = avail
+			} else {
+				var err error
+				sent, err = model.ChooseReportGreedyPartial(c.src, avail, c.eps)
+				if err != nil {
+					return EpochResult{}, err
+				}
 			}
 		}
 		// The source believes what it transmitted (it cannot observe
@@ -161,6 +265,7 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 		// The report is a child span of the epoch; its unicasts (and any
 		// loss along the way) trace as grandchildren, so the auditor can
 		// tell a silent divergence from an explained one.
+		reportBytes += obs.WireBytesPerValue * len(sent)
 		var rs *obs.Span
 		if sp.Active() && len(sent) > 0 {
 			rs = sp.Child()
@@ -186,7 +291,7 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 		delivered := map[int]float64{}
 		for _, i := range sortedKeys(sent) {
 			g := c.members[i]
-			if d.net.SendSpan(Message{From: c.root, To: d.net.Base(), Attrs: []int{g}, Values: []float64{sent[i]}}, rs) {
+			if d.net.SendReliable(Message{From: c.root, To: d.net.Base(), Attrs: []int{g}, Values: []float64{sent[i]}}, rs) {
 				delivered[i] = sent[i]
 			}
 		}
@@ -207,10 +312,23 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 			})
 		}
 
-		// Phase 3 — the base answers from the sink replica.
+		// Phase 3 — the base answers from the sink replica. The per-clique
+		// failure detector watches report arrivals: a suspected clique's
+		// estimates are still served (the model is all the base has) but
+		// flagged stale instead of being passed off as live data.
+		suspected := false
+		if c.det != nil {
+			suspected = c.det.Observe(len(delivered) > 0)
+			if suspected {
+				res.SuspectedCliques++
+			}
+		}
 		mean := c.sink.Mean()
 		for i, g := range c.members {
 			res.Estimates[g] = mean[i]
+			if suspected {
+				res.Stale[g] = true
+			}
 			if diff := mean[i] - truth[g]; diff > d.eps[g] || diff < -d.eps[g] {
 				res.Violations++
 			}
@@ -219,7 +337,12 @@ func (d *DistributedKen) Epoch(truth []float64) (EpochResult, error) {
 	if sp.Active() {
 		sp.EndEpoch(obs.Event{
 			Step: int64(d.net.stats.Epochs), Clique: -1, Node: -1, N: res.ValuesDelivered,
-			Payload: &obs.Payload{Predicted: res.Estimates, Observed: truth, Eps: d.eps},
+			Payload: &obs.Payload{
+				Predicted: res.Estimates, Observed: truth, Eps: d.eps,
+				Bytes:     reportBytes,
+				LinkBytes: d.net.EpochLinkBytes(),
+				Retx:      d.net.EpochRetransmits(),
+			},
 		})
 	}
 	return res, nil
@@ -294,7 +417,10 @@ func (d *DistributedTinyDB) Epoch(truth []float64) (EpochResult, error) {
 	if sp.Active() {
 		sp.EndEpoch(obs.Event{
 			Step: int64(d.net.stats.Epochs), Clique: -1, Node: -1, N: res.ValuesDelivered,
-			Payload: &obs.Payload{Predicted: res.Estimates, Observed: truth, Eps: d.eps},
+			Payload: &obs.Payload{
+				Predicted: res.Estimates, Observed: truth, Eps: d.eps,
+				LinkBytes: d.net.EpochLinkBytes(), Retx: d.net.EpochRetransmits(),
+			},
 		})
 	}
 	return res, nil

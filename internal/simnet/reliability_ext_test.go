@@ -1,0 +1,111 @@
+package simnet_test
+
+// External test package: the auditor imports simnet for its energy
+// model, so closing the loop trace → audit from here avoids the cycle.
+
+import (
+	"bytes"
+	"testing"
+
+	"ken/internal/audit"
+	"ken/internal/cliques"
+	"ken/internal/model"
+	"ken/internal/network"
+	"ken/internal/obs"
+	"ken/internal/simnet"
+	"ken/internal/trace"
+)
+
+// TestARQHeartbeatCutsViolationsTenfold is the PR's acceptance bar: on
+// the Lab deployment over a single-hop star with 20% per-hop loss, 200
+// epochs of DistributedKen with ARQ (3 retries) plus a 10-epoch
+// heartbeat must produce at least 10× fewer ε violations than the bare
+// protocol — and the reliable run's protocol trace must audit clean.
+func TestARQHeartbeatCutsViolationsTenfold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 400 Lab epochs")
+	}
+	tr, err := trace.GenerateLab(1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tr.Rows(trace.Temperature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tr.Deployment.N()
+	train, test := rows[:100], rows[100:300]
+	eps := make([]float64, n)
+	for i := range eps {
+		eps[i] = trace.Temperature.DefaultEpsilon()
+	}
+	links := make([]network.Link, 0, n)
+	for i := 0; i < n; i++ {
+		links = append(links, network.Link{U: i, V: n, Cost: 1})
+	}
+	top, err := network.New(n, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := &cliques.Partition{}
+	for i := 0; i+1 < n; i += 2 {
+		part.Cliques = append(part.Cliques, cliques.Clique{Members: []int{i, i + 1}, Root: i})
+	}
+	if n%2 == 1 {
+		part.Cliques = append(part.Cliques, cliques.Clique{Members: []int{n - 1}, Root: n - 1})
+	}
+
+	run := func(retries, hb int, ob *obs.Observer) int {
+		t.Helper()
+		radio := simnet.DefaultRadio()
+		radio.LossRate = 0.2
+		radio.ARQ.MaxRetries = retries
+		net, err := simnet.New(top, radio, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ob != nil {
+			net.Instrument(ob)
+		}
+		prog, err := simnet.NewDistributedKenConfig(net, part, train, eps, model.FitConfig{Period: 24},
+			simnet.KenNetConfig{HeartbeatEvery: hb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		violations := 0
+		for _, row := range test {
+			res, err := prog.Epoch(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			violations += res.Violations
+		}
+		return violations
+	}
+
+	bare := run(0, 0, nil)
+	var buf bytes.Buffer
+	ob := &obs.Observer{Reg: obs.NewRegistry(), Trace: obs.NewTracer(&buf)}
+	reliable := run(3, 10, ob)
+	if bare == 0 {
+		t.Fatal("20% loss without ARQ caused no violations; the comparison is vacuous")
+	}
+	if reliable*10 > bare {
+		t.Fatalf("ARQ+heartbeat run has %d violations vs %d bare — less than the required 10× reduction", reliable, bare)
+	}
+
+	if err := ob.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := audit.Audit(events)
+	if !rep.Clean() {
+		for _, v := range rep.Violations {
+			t.Errorf("audit: %s", v.String())
+		}
+		t.Fatalf("the reliable run's trace failed its own audit (%d violations)", len(rep.Violations))
+	}
+}

@@ -45,6 +45,23 @@ type Radio struct {
 	BatteryJ float64
 	// LossRate is the independent per-hop probability of losing a message.
 	LossRate float64
+	// ARQ configures link/transport-layer reliability for SendReliable.
+	ARQ ARQConfig
+}
+
+// ARQConfig parameterises stop-and-wait ARQ: after a SendReliable the
+// destination routes a small ack back (full per-hop energy both ways);
+// on silence the sender backs off and retransmits. MaxRetries == 0
+// disables ARQ entirely, making SendReliable identical to Send.
+type ARQConfig struct {
+	// MaxRetries bounds retransmissions per message (0 = ARQ off).
+	MaxRetries int
+	// AckBytes is the ack payload size; header overhead is added per hop.
+	AckBytes int
+	// RetryBudget caps the total backoff slots spendable per epoch across
+	// all messages, so a lossy epoch cannot retransmit unboundedly
+	// (0 = unlimited).
+	RetryBudget int
 }
 
 // DefaultRadio returns Telos-like parameters. With hourly epochs and no
@@ -57,6 +74,7 @@ func DefaultRadio() Radio {
 		OverheadBytes: 16,
 		IdlePerEpoch:  3e-4,
 		BatteryJ:      20,
+		ARQ:           ARQConfig{AckBytes: 2},
 	}
 }
 
@@ -80,9 +98,11 @@ type Stats struct {
 	Epochs        int
 	MessagesSent  int     // link-level transmissions (one per hop)
 	BytesSent     int     // link-level bytes
-	Delivered     int     // end-to-end deliveries
+	Delivered     int     // end-to-end data deliveries (acks excluded)
 	DroppedLoss   int     // messages lost to per-hop loss
 	DroppedNoPath int     // messages dropped for lack of a live route
+	Retransmits   int     // ARQ retransmissions issued
+	Acks          int     // link-layer acks sent by destinations
 	EnergySpent   float64 // total Joules across all nodes
 }
 
@@ -96,6 +116,11 @@ type Network struct {
 	alive  []bool
 	stats  Stats
 
+	// Per-epoch reliability state, reset by BeginEpoch.
+	retxBudget  int // backoff slots left this epoch (-1 = unlimited)
+	epochBytes0 int // Stats.BytesSent snapshot at epoch start
+	epochRetx0  int // Stats.Retransmits snapshot at epoch start
+
 	// Observability handles (nil and no-op until Instrument is called).
 	tracer     *obs.Tracer
 	span       *obs.Span      // current epoch span, set by BeginEpoch
@@ -105,6 +130,8 @@ type Network struct {
 	mDelivered *obs.Counter   // simnet_delivered_total
 	mDropLoss  *obs.Counter   // simnet_dropped_loss_total
 	mDropRoute *obs.Counter   // simnet_dropped_noroute_total
+	mRetx      *obs.Counter   // simnet_retransmits_total
+	mAcks      *obs.Counter   // simnet_acks_total
 	mDeaths    *obs.Counter   // simnet_node_deaths_total
 	gEnergy    *obs.Gauge     // simnet_energy_spent_joules
 	gAlive     *obs.Gauge     // simnet_alive_nodes
@@ -124,6 +151,9 @@ func New(top *network.Topology, radio Radio, seed int64) (*Network, error) {
 	}
 	if radio.LossRate < 0 || radio.LossRate >= 1 {
 		return nil, fmt.Errorf("simnet: loss rate %v outside [0,1)", radio.LossRate)
+	}
+	if a := radio.ARQ; a.MaxRetries < 0 || a.AckBytes < 0 || a.RetryBudget < 0 {
+		return nil, fmt.Errorf("simnet: invalid ARQ parameters %+v", a)
 	}
 	n := top.N()
 	net := &Network{
@@ -152,6 +182,8 @@ func (s *Network) Instrument(ob *obs.Observer) {
 	s.mDelivered = reg.Counter("simnet_delivered_total")
 	s.mDropLoss = reg.Counter("simnet_dropped_loss_total")
 	s.mDropRoute = reg.Counter("simnet_dropped_noroute_total")
+	s.mRetx = reg.Counter("simnet_retransmits_total")
+	s.mAcks = reg.Counter("simnet_acks_total")
 	s.mDeaths = reg.Counter("simnet_node_deaths_total")
 	s.gEnergy = reg.Gauge("simnet_energy_spent_joules")
 	s.gAlive = reg.Gauge("simnet_alive_nodes")
@@ -189,6 +221,13 @@ func (s *Network) Stats() Stats { return s.stats }
 // with their audit payload.
 func (s *Network) BeginEpoch() *obs.Span {
 	s.stats.Epochs++
+	if b := s.radio.ARQ.RetryBudget; b > 0 {
+		s.retxBudget = b
+	} else {
+		s.retxBudget = -1
+	}
+	s.epochBytes0 = s.stats.BytesSent
+	s.epochRetx0 = s.stats.Retransmits
 	for i := range s.energy {
 		if s.alive[i] {
 			s.spend(i, s.radio.IdlePerEpoch)
@@ -207,10 +246,25 @@ func (s *Network) BeginEpoch() *obs.Span {
 // the first BeginEpoch).
 func (s *Network) EpochSpan() *obs.Span { return s.span }
 
-// spend drains energy from node i, flipping it dead at zero.
+// EpochLinkBytes returns the link-level bytes transmitted so far in the
+// current epoch — the radio ledger (every hop of every message, acks
+// included), distinct from the protocol ledger of EvReport payloads. See
+// docs/OBSERVABILITY.md, "Two byte ledgers".
+func (s *Network) EpochLinkBytes() int { return s.stats.BytesSent - s.epochBytes0 }
+
+// EpochRetransmits returns the ARQ retransmissions issued so far in the
+// current epoch.
+func (s *Network) EpochRetransmits() int { return s.stats.Retransmits - s.epochRetx0 }
+
+// spend drains energy from node i, flipping it dead at zero. The charge
+// is clamped to the remaining battery: a node cannot deliver energy it
+// does not hold, so Stats.EnergySpent never exceeds N × BatteryJ.
 func (s *Network) spend(i int, j float64) {
 	if i == s.top.Base() || !s.alive[i] {
 		return // the base is mains-powered
+	}
+	if j > s.energy[i] {
+		j = s.energy[i]
 	}
 	s.energy[i] -= j
 	s.stats.EnergySpent += j
@@ -249,6 +303,84 @@ func (s *Network) Send(msg Message) bool { return s.SendSpan(msg, nil) }
 // is. A nil cause falls back to the current epoch span; with no tracer
 // attached SendSpan is exactly Send.
 func (s *Network) SendSpan(msg Message, cause *obs.Span) bool {
+	return s.route(msg, msg.bytes(s.radio.OverheadBytes), cause, false)
+}
+
+// SendReliable routes like SendSpan and, when the radio's ARQ is enabled
+// (MaxRetries > 0), runs stop-and-wait ARQ on top: after each delivery
+// the destination routes an ack back (paying per-hop energy in both
+// directions); on silence — the data or its ack lost — the sender draws a
+// binary-exponential backoff from the deterministic network rng (motes
+// have no wall clock, and replays must not either), charges the slots
+// against the epoch's retry budget, traces EvRetx, and retransmits, up to
+// MaxRetries times. Returns whether the payload reached its destination
+// at least once: a lost ack costs a duplicate transmission, never
+// correctness.
+func (s *Network) SendReliable(msg Message, cause *obs.Span) bool {
+	arq := s.radio.ARQ
+	if arq.MaxRetries <= 0 {
+		return s.SendSpan(msg, cause)
+	}
+	//lint:ignore obshandle nil selects the fallback parent span here; emission below still guards with Active()
+	if cause == nil {
+		cause = s.span
+	}
+	wire := msg.bytes(s.radio.OverheadBytes)
+	delivered := false
+	for attempt := 0; ; attempt++ {
+		if s.route(msg, wire, cause, false) {
+			delivered = true
+			if s.ackBack(msg, cause) {
+				return true
+			}
+		}
+		if attempt >= arq.MaxRetries || !s.liveVertex(msg.From) {
+			return delivered
+		}
+		slots := 1 + s.rng.Intn(1<<uint(attempt))
+		if s.retxBudget >= 0 {
+			if slots > s.retxBudget {
+				return delivered // epoch retry budget exhausted
+			}
+			s.retxBudget -= slots
+		}
+		s.stats.Retransmits++
+		s.mRetx.Inc()
+		if cause.Active() {
+			cause.Child().Emit(obs.Event{
+				Type: obs.EvRetx, Step: int64(s.stats.Epochs), Clique: -1, Node: msg.From,
+				Attrs: msg.Attrs, N: slots,
+				Payload: &obs.Payload{From: msg.From, To: msg.To, Attempt: attempt + 1},
+			})
+		}
+	}
+}
+
+// ackBack routes the link-layer acknowledgement for msg from its
+// destination back to its sender, carrying the acked attrs so trace
+// consumers can correlate ack losses with the data they confirmed.
+func (s *Network) ackBack(msg Message, cause *obs.Span) bool {
+	ack := Message{From: msg.To, To: msg.From, Attrs: msg.Attrs}
+	wire := s.radio.OverheadBytes + s.radio.ARQ.AckBytes
+	s.stats.Acks++
+	s.mAcks.Inc()
+	if !s.route(ack, wire, cause, true) {
+		return false
+	}
+	if cause.Active() {
+		cause.Child().Emit(obs.Event{
+			Type: obs.EvAck, Step: int64(s.stats.Epochs), Clique: -1, Node: msg.From,
+			Attrs:   msg.Attrs,
+			Payload: &obs.Payload{From: msg.To, To: msg.From, Bytes: wire},
+		})
+	}
+	return true
+}
+
+// route is the shared hop-by-hop forwarding engine behind SendSpan and
+// the ARQ ack path; wire is the full per-hop byte cost and isAck excludes
+// ack traffic from the end-to-end Delivered count.
+func (s *Network) route(msg Message, wire int, cause *obs.Span, isAck bool) bool {
 	//lint:ignore obshandle nil selects the fallback parent span here; emission below still guards with Active()
 	if cause == nil {
 		cause = s.span
@@ -273,7 +405,7 @@ func (s *Network) SendSpan(msg Message, cause *obs.Span) bool {
 		drop(msg.From, "dead")
 		return false
 	}
-	bytes := msg.bytes(s.radio.OverheadBytes)
+	bytes := wire
 	s.hMsgBytes.Observe(float64(bytes))
 	cur := msg.From
 	for cur != msg.To {
@@ -314,18 +446,23 @@ func (s *Network) SendSpan(msg Message, cause *obs.Span) bool {
 		}
 		cur = next
 	}
-	s.stats.Delivered++
-	s.mDelivered.Inc()
+	if !isAck {
+		s.stats.Delivered++
+		s.mDelivered.Inc()
+	}
 	return true
 }
 
 // nextHop picks the live neighbour minimising hop-cost plus remaining
 // shortest-path distance — greedy geographic-style repair that routes
-// around dead nodes without a global recompute.
+// around dead nodes without a global recompute. A dead destination is
+// still selectable as the final hop: a sender cannot know its receiver's
+// battery died, so it transmits (burning Tx energy) and the message dies
+// at the receiver.
 func (s *Network) nextHop(cur, dst int) (int, error) {
 	best, bestCost := -1, math.Inf(1)
 	for _, l := range s.top.Neighbors(cur) {
-		if !s.liveVertex(l.V) {
+		if !s.liveVertex(l.V) && l.V != dst {
 			continue
 		}
 		c := l.Cost + s.top.Comm(l.V, dst)
