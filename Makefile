@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint fmt-check test race cover bench bench-smoke audit-smoke faults-smoke figures examples fuzz clean
+.PHONY: all check build vet lint fmt-check test race cover bench bench-smoke bench-baseline audit-smoke faults-smoke figures examples fuzz clean
 
 all: build test
 
@@ -46,12 +46,25 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/kenbench -all -quick -parallel 8
 
+# bench-baseline records the three layer throughput yardsticks as
+# BENCH_{core,engine,stream}.json at the repo root: the core DjC2 replay
+# (epochs/sec), the Fig 9 cell suite on a cold engine (cells/sec) and the
+# framed source→replica loop (frames/sec). Setup — trace generation,
+# model fits, clique selection — is excluded from the stopwatch. CI
+# uploads the three files as an artifact so regressions are comparable
+# across runs.
+bench-baseline:
+	$(GO) run ./cmd/kenbench -baseline-out . -test 600
+
 # audit-smoke proves the protocol invariants on real traces: a kensim lab
 # comparison and the quick benchmark suite at pool widths 1 and 8, each
 # replayed through kenaudit -strict (ε bound, no silent divergence, byte
 # accounting). The two kenbench audit reports must be byte-identical —
 # parallel scheduling may reorder trace lines but never the audited facts.
-# See docs/OBSERVABILITY.md.
+# The last leg exercises the tamper evidence of the segmented store: the
+# same kensim run written as a hash-chained store must pass
+# kenaudit -verify-chain, and must fail it (exit 1) after a single flipped
+# byte. See docs/OBSERVABILITY.md.
 audit-smoke:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) run ./cmd/kensim -dataset lab -scheme all -parallel 4 -test 300 -trace-out "$$tmp/kensim.jsonl" >/dev/null && \
@@ -61,7 +74,12 @@ audit-smoke:
 	$(GO) run ./cmd/kenaudit -trace "$$tmp/seq.jsonl" -strict -q -json "$$tmp/seq.json" && \
 	$(GO) run ./cmd/kenaudit -trace "$$tmp/par.jsonl" -strict -q -json "$$tmp/par.json" && \
 	cmp "$$tmp/seq.json" "$$tmp/par.json" && \
-	echo "audit-smoke: PASS (traces audit clean; parallel report == sequential report)"
+	$(GO) run ./cmd/kensim -dataset lab -scheme djc -parallel 1 -test 200 -trace-out "$$tmp/store/" -trace-segment-events 500 >/dev/null && \
+	$(GO) run ./cmd/kenaudit -trace "$$tmp/store" -verify-chain -strict -q 2>/dev/null && \
+	printf 'X' | dd of="$$tmp/store/seg-00000000.jsonl" bs=1 seek=100 count=1 conv=notrunc 2>/dev/null && \
+	if $(GO) run ./cmd/kenaudit -trace "$$tmp/store" -verify-chain -q 2>/dev/null; then \
+		echo "audit-smoke: FAIL (verify-chain accepted a corrupted store)"; exit 1; fi && \
+	echo "audit-smoke: PASS (traces audit clean; parallel == sequential; corruption detected)"
 
 # faults-smoke proves the reliability layer under fire: the §6 lossy
 # protocol (kensim, 20% report loss with heartbeats) and the full packet

@@ -6,85 +6,262 @@
 // per-node / per-clique / per-link communication and a first-order radio
 // energy estimate.
 //
+// The trace may be a flat JSONL file or a segmented, hash-chained trace
+// store directory (written by -trace-out with a directory path). Store
+// directories unlock -verify-chain — cryptographic tamper detection
+// before the audit — and indexed -scope/-epochs windows that seek to the
+// relevant segments instead of scanning the whole trace.
+//
 // Usage:
 //
 //	kenaudit -trace run.jsonl                 # markdown summary to stdout
 //	kenaudit -trace run.jsonl -json report.json
 //	kenaudit -trace run.jsonl -strict         # exit 1 on any violation
 //	kenbench ... -trace-out - | kenaudit -trace -   # read stdin
+//	kenaudit -trace runs/ -verify-chain       # tamper check, then audit
+//	kenaudit -trace runs/ -scope sim/net -epochs 100:200
 //
 // The report is deterministic: auditing a kenbench -parallel trace yields
 // a byte-identical report to its sequential twin.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"ken/internal/audit"
+	"ken/internal/obs"
+	"ken/internal/tracestore"
 )
 
 func main() {
-	tracePath := flag.String("trace", "", "JSONL trace to audit (\"-\" for stdin)")
-	jsonOut := flag.String("json", "", "also write the machine-readable JSON report to this file (\"-\" for stdout)")
-	noMD := flag.Bool("q", false, "suppress the markdown summary")
-	strict := flag.Bool("strict", false, "exit nonzero when any invariant is violated")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// window is the optional -scope/-epochs restriction of an audit.
+type window struct {
+	scope    string
+	hasSteps bool
+	minStep  int64
+	maxStep  int64
+}
+
+func (w window) active() bool { return w.scope != "" || w.hasSteps }
+
+// match mirrors tracestore.Filter semantics exactly, so the index-driven
+// segment selection is a superset of what this admits.
+func (w window) match(e *obs.Event) bool {
+	f := tracestore.Filter{Scope: w.scope, HasSteps: w.hasSteps, MinStep: w.minStep, MaxStep: w.maxStep}
+	if !f.MatchScope(e.Scope) || !f.MatchStep(e.Step) {
+		return false
+	}
+	// A windowed audit sees only a slice of each run, so the run_end
+	// declarations (total steps/values/bytes, ε-miss reconciliation)
+	// cannot hold over it; auditing the window against them would only
+	// manufacture false violations.
+	return !(w.hasSteps && e.Type == obs.EvRunEnd)
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kenaudit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tracePath := fs.String("trace", "", "trace to audit: JSONL file, segmented store directory, or \"-\" for stdin")
+	jsonOut := fs.String("json", "", "also write the machine-readable JSON report to this file (\"-\" for stdout)")
+	noMD := fs.Bool("q", false, "suppress the markdown summary")
+	strict := fs.Bool("strict", false, "exit nonzero when any invariant is violated")
+	verify := fs.Bool("verify-chain", false, "verify the store's hash chain before auditing (directory traces only); any bit flip, reorder or truncation exits 1 naming the segment")
+	scope := fs.String("scope", "", "audit only this scope and its sub-scopes (\"sim\" matches \"sim/net\")")
+	epochsFlag := fs.String("epochs", "", "audit only epochs with step in this inclusive lo:hi window (either bound may be empty); run_end totals are not checked against a window")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *tracePath == "" {
-		fmt.Fprintln(os.Stderr, "kenaudit: -trace is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "kenaudit: -trace is required")
+		fs.Usage()
+		return 2
 	}
-
-	var in io.Reader = os.Stdin
-	if *tracePath != "-" {
-		f, err := os.Open(*tracePath)
+	win := window{scope: *scope}
+	if *epochsFlag != "" {
+		lo, hi, err := parseEpochs(*epochsFlag)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(stderr, "kenaudit: %v\n", err)
+			return 2
 		}
-		defer f.Close()
-		in = f
+		win.hasSteps, win.minStep, win.maxStep = true, lo, hi
 	}
 
-	rep, err := audit.AuditTrace(in)
-	if err != nil {
-		fatal(err)
+	isDir := *tracePath != "-" && isDirTrace(*tracePath)
+	if *verify && !isDir {
+		fmt.Fprintln(stderr, "kenaudit: -verify-chain needs a segmented trace store directory")
+		return 2
+	}
+
+	var rep *audit.Report
+	switch {
+	case isDir:
+		if *verify {
+			info, err := tracestore.VerifyChain(*tracePath)
+			if err != nil {
+				fmt.Fprintf(stderr, "kenaudit: %v\n", err)
+				var ce *tracestore.ChainError
+				if errors.As(err, &ce) {
+					return 1
+				}
+				return 2
+			}
+			fmt.Fprintf(stderr, "kenaudit: chain OK: %d segments, %d events, head %s\n",
+				info.Segments, info.Events, info.Head)
+		}
+		var err error
+		rep, err = auditStore(*tracePath, win)
+		if err != nil {
+			fmt.Fprintf(stderr, "kenaudit: %v\n", err)
+			return 2
+		}
+	default:
+		in := stdin
+		if *tracePath != "-" {
+			f, err := os.Open(*tracePath)
+			if err != nil {
+				fmt.Fprintf(stderr, "kenaudit: %v\n", err)
+				return 2
+			}
+			defer f.Close()
+			in = f
+		}
+		var err error
+		rep, err = auditFlat(in, win)
+		if err != nil {
+			fmt.Fprintf(stderr, "kenaudit: %v\n", err)
+			return 2
+		}
+	}
+
+	if rep.Events == 0 {
+		if win.active() {
+			fmt.Fprintln(stderr, "kenaudit: no events matched the -scope/-epochs window")
+		} else {
+			fmt.Fprintln(stderr, "kenaudit: no events in trace")
+		}
 	}
 
 	if *jsonOut != "" {
-		var out io.Writer = os.Stdout
+		out := stdout
 		if *jsonOut != "-" {
 			f, err := os.Create(*jsonOut)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintf(stderr, "kenaudit: %v\n", err)
+				return 2
 			}
 			defer f.Close()
 			out = f
 		}
 		if err := rep.WriteJSON(out); err != nil {
-			fatal(err)
+			fmt.Fprintf(stderr, "kenaudit: %v\n", err)
+			return 2
 		}
 	}
-	if !*noMD {
-		if err := rep.WriteMarkdown(os.Stdout); err != nil {
-			fatal(err)
+	if !*noMD && rep.Events > 0 {
+		if err := rep.WriteMarkdown(stdout); err != nil {
+			fmt.Fprintf(stderr, "kenaudit: %v\n", err)
+			return 2
 		}
 	}
 
 	if !rep.Clean() {
 		for _, v := range rep.Violations {
-			fmt.Fprintf(os.Stderr, "kenaudit: VIOLATION %s\n", v.String())
+			fmt.Fprintf(stderr, "kenaudit: VIOLATION %s\n", v.String())
 		}
 		if *strict {
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "kenaudit: %v\n", err)
-	os.Exit(2)
+// isDirTrace reports whether the path names a trace store directory.
+func isDirTrace(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// parseEpochs parses "lo:hi" with either bound optional.
+func parseEpochs(s string) (lo, hi int64, err error) {
+	loS, hiS, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-epochs wants lo:hi, got %q", s)
+	}
+	lo, hi = 0, int64(1)<<62
+	if loS != "" {
+		if lo, err = strconv.ParseInt(loS, 10, 64); err != nil {
+			return 0, 0, fmt.Errorf("-epochs lower bound %q: %v", loS, err)
+		}
+	}
+	if hiS != "" {
+		if hi, err = strconv.ParseInt(hiS, 10, 64); err != nil {
+			return 0, 0, fmt.Errorf("-epochs upper bound %q: %v", hiS, err)
+		}
+	}
+	if lo > hi {
+		return 0, 0, fmt.Errorf("-epochs window %q is empty (lo > hi)", s)
+	}
+	return lo, hi, nil
+}
+
+// auditFlat streams a flat JSONL trace (or stdin) through the auditor,
+// applying the window event by event.
+func auditFlat(in io.Reader, win window) (*audit.Report, error) {
+	var a audit.Auditor
+	if err := obs.StreamEvents(in, func(e obs.Event) error {
+		if win.match(&e) {
+			a.Feed(e)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return a.Finish(), nil
+}
+
+// auditStore audits a segmented trace store. The per-segment index turns
+// a -scope/-epochs window into a seek: segments (and scope runs within
+// them) that cannot contain matching events are never read.
+func auditStore(dir string, win window) (*audit.Report, error) {
+	st, err := tracestore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := st.Select(tracestore.Filter{
+		Scope: win.scope, HasSteps: win.hasSteps, MinStep: win.minStep, MaxStep: win.maxStep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var a audit.Auditor
+	n := 0
+	err = st.ScanSelection(sel, func(line []byte) error {
+		var e obs.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return fmt.Errorf("decoding trace event %d: %w", n, err)
+		}
+		n++
+		// The index narrows to candidate segments; the window decides
+		// event by event (an offset run can still contain steps or
+		// sub-scopes outside it).
+		if win.match(&e) {
+			a.Feed(e)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a.Finish(), nil
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"ken/internal/bench"
+)
+
+// baselineResult is the schema of one BENCH_<layer>.json file: a single
+// throughput yardstick with enough context to compare runs.
+type baselineResult struct {
+	Benchmark  string  `json:"benchmark"`
+	Unit       string  `json:"unit"`
+	PerSec     float64 `json:"per_sec"`
+	Count      int     `json:"count"`
+	Seconds    float64 `json:"seconds"`
+	Config     string  `json:"config"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+}
+
+// runBaselines times the prepared layer workloads (core replay, engine
+// cell suite, stream endpoints) and writes BENCH_<name>.json for each
+// into dir. Setup cost is excluded: the workloads are fully prepared
+// before the stopwatch starts.
+func runBaselines(ctx context.Context, dir string, cfg bench.Config) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	wls, err := bench.BaselineWorkloads(cfg)
+	if err != nil {
+		return fmt.Errorf("preparing baselines: %w", err)
+	}
+	for _, wl := range wls {
+		start := time.Now()
+		count, err := wl.Run(ctx)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", wl.Name, err)
+		}
+		res := baselineResult{
+			Benchmark: wl.Name, Unit: wl.Unit,
+			PerSec: float64(count) / elapsed, Count: count, Seconds: elapsed,
+			Config: wl.Desc, GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(),
+		}
+		path := filepath.Join(dir, "BENCH_"+wl.Name+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		slog.Info("baseline written", "path", path,
+			"throughput", fmt.Sprintf("%.0f %s", res.PerSec, res.Unit))
+	}
+	return nil
+}

@@ -68,6 +68,7 @@ func main() {
 	test := flag.Int("test", 1500, "test steps (hours); the paper uses 5000")
 	parallel := flag.Int("parallel", 0, "worker pool width for experiment cells (0 = GOMAXPROCS, 1 = sequential)")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot JSON to this file ('-' for stdout)")
+	baselineOut := flag.String("baseline-out", "", "measure the layer throughput yardsticks and write BENCH_{core,engine,stream}.json into this directory")
 	var of obs.CmdFlags
 	of.Register(flag.CommandLine)
 	flag.Parse()
@@ -91,8 +92,8 @@ func main() {
 	}
 	cfg.Obs = ob
 
-	if !*all && *fig == 0 {
-		fmt.Fprintln(os.Stderr, "kenbench: pass -fig N or -all")
+	if !*all && *fig == 0 && *baselineOut == "" {
+		fmt.Fprintln(os.Stderr, "kenbench: pass -fig N, -all or -baseline-out DIR")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -137,9 +138,16 @@ func main() {
 		}
 		fmt.Printf("(figure %d regenerated in %v)\n\n", r.num, elapsed.Round(time.Millisecond))
 	}
-	if !ran {
+	if !ran && (*all || *fig != 0) {
 		fmt.Fprintf(os.Stderr, "kenbench: unknown figure %d (have 7-17)\n", *fig)
 		os.Exit(2)
+	}
+	if *baselineOut != "" {
+		if err := runBaselines(ctx, *baselineOut, cfg); err != nil {
+			slog.Error("baseline run failed", "err", err)
+			cleanup()
+			os.Exit(1)
+		}
 	}
 	if *metricsOut != "" {
 		if err := writeSnapshot(*metricsOut, reg); err != nil {

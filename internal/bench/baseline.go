@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"ken/internal/cliques"
+	"ken/internal/core"
+	"ken/internal/engine"
+	"ken/internal/model"
+	"ken/internal/obs"
+	"ken/internal/stream"
+)
+
+// BaselineWorkload is one prepared throughput yardstick. All expensive
+// setup — trace generation, model fitting, clique selection — happens in
+// BaselineWorkloads, so timing Run measures the layer's steady-state
+// throughput and nothing else. This package stays free of wall-clock
+// reads (the determinism lint); the caller owns the stopwatch.
+type BaselineWorkload struct {
+	Name string // file stem: BENCH_<Name>.json
+	Unit string // what Run's count measures per second
+	Desc string // the configuration behind the number
+	Run  func(ctx context.Context) (count int, err error)
+}
+
+// BaselineWorkloads prepares the three layer yardsticks over the Lab
+// deployment:
+//
+//   - core: a DjC2 Ken replay through core.Run — epochs/sec
+//   - engine: the Fig 9 cell suite on a fresh (cold-cache) engine —
+//     cells/sec
+//   - stream: the framed source→replica loop (Collect + Apply) —
+//     frames/sec
+func BaselineWorkloads(cfg Config) ([]BaselineWorkload, error) {
+	cfg = cfg.withDefaults()
+	cfg.Obs = nil // yardsticks run untraced; tracing is its own cost
+	eng := engine.New(engine.Options{Workers: 1})
+	d, err := loadDataset(eng, "lab", cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := djcPartition(eng, d, cfg, 2, cliques.MetricReduction)
+	if err != nil {
+		return nil, err
+	}
+	fit := model.FitConfig{Period: 24}
+
+	scheme, err := core.Build(core.SchemeSpec{
+		Scheme: "DjC2", N: d.dep.N(), Eps: d.eps, Train: d.train,
+		FitCfg: fit, Partition: p,
+	})
+	if err != nil {
+		return nil, err
+	}
+	coreWL := BaselineWorkload{
+		Name: "core", Unit: "epochs/sec",
+		Desc: fmt.Sprintf("DjC2 Ken replay, lab dataset, n=%d, test=%d", d.dep.N(), len(d.test)),
+		Run: func(ctx context.Context) (int, error) {
+			res, err := core.Run(ctx, scheme, d.test, core.RunOptions{Eps: d.eps})
+			if err != nil {
+				return 0, err
+			}
+			return res.Steps, nil
+		},
+	}
+
+	engCfg := cfg
+	engineWL := BaselineWorkload{
+		Name: "engine", Unit: "cells/sec",
+		Desc: fmt.Sprintf("Fig 9 suite, cold cache, workers=GOMAXPROCS, test=%d", engCfg.TestSteps),
+		Run: func(ctx context.Context) (int, error) {
+			reg := obs.NewRegistry()
+			cold := engine.New(engine.Options{Obs: &obs.Observer{Reg: reg}})
+			if _, err := Fig9(ctx, cold, engCfg); err != nil {
+				return 0, err
+			}
+			return int(reg.Snapshot().Counters["engine_cells_total"]), nil
+		},
+	}
+
+	scfg := stream.Config{Partition: p, Train: d.train, Eps: d.eps, FitCfg: fit}
+	src, err := stream.NewSource(scfg)
+	if err != nil {
+		return nil, err
+	}
+	sink, err := stream.NewReplica(scfg)
+	if err != nil {
+		return nil, err
+	}
+	streamWL := BaselineWorkload{
+		Name: "stream", Unit: "frames/sec",
+		Desc: fmt.Sprintf("source Collect → replica Apply, lab DjC2, n=%d, frames=%d", d.dep.N(), len(d.test)),
+		Run: func(ctx context.Context) (int, error) {
+			for i, row := range d.test {
+				if i%256 == 0 {
+					if err := ctx.Err(); err != nil {
+						return 0, err
+					}
+				}
+				f, err := src.Collect(row)
+				if err != nil {
+					return 0, err
+				}
+				if err := sink.Apply(f); err != nil {
+					return 0, err
+				}
+			}
+			return len(d.test), nil
+		},
+	}
+
+	return []BaselineWorkload{coreWL, engineWL, streamWL}, nil
+}

@@ -24,6 +24,7 @@ func Analyzers() []*driver.Analyzer {
 		ErrWire,
 		FloatEq,
 		ObsHandle,
+		TraceSink,
 	}
 }
 

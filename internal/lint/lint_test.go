@@ -41,6 +41,10 @@ func TestObsHandle(t *testing.T) {
 	driver.AnalysisTest(t, lint.ObsHandle, fixture("obsuser"))
 }
 
+func TestTraceSink(t *testing.T) {
+	driver.AnalysisTest(t, lint.TraceSink, fixture("tracesinkuser"))
+}
+
 // TestSuiteShape pins the acceptance-criteria contract: the suite ships at
 // least five analyzers, each named, documented, and with a Run function.
 func TestSuiteShape(t *testing.T) {
@@ -58,7 +62,7 @@ func TestSuiteShape(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"nondeterminism", "maprange", "errwire", "floateq", "obshandle"} {
+	for _, want := range []string{"nondeterminism", "maprange", "errwire", "floateq", "obshandle", "tracesink"} {
 		if !seen[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}

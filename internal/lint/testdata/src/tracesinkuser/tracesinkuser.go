@@ -1,0 +1,30 @@
+// Package tracesinkuser is a kenlint fixture for the tracesink analyzer:
+// discarded errors from internal/tracestore calls are flagged in every
+// scope — a dropped segment write or seal breaks the hash chain without
+// any visible symptom until verification fails.
+package tracesinkuser
+
+import "ken/internal/tracestore"
+
+func write(w *tracestore.Writer, line []byte) error {
+	w.WriteEventLine("scope", 1, line) // want `discarded error from tracestore\.WriteEventLine`
+	w.Flush()                          // want `discarded error from tracestore\.Flush`
+	defer w.Seal()                     // want `discarded error from tracestore\.Seal`
+
+	if err := w.WriteEventLine("scope", 2, line); err != nil { // handled: fine
+		return err
+	}
+	_ = w.Flush() // explicit blank: the documented opt-out
+
+	//lint:ignore tracesink fixture exercising the escape hatch
+	w.Seal()
+	return w.Close()
+}
+
+func create(dir string) {
+	tracestore.Create(dir, tracestore.Options{}) // want `discarded error from tracestore\.Create`
+}
+
+func verify(dir string) {
+	go tracestore.VerifyChain(dir) // want `discarded error from tracestore\.VerifyChain`
+}

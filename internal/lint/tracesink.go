@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+
+	"ken/internal/lint/driver"
+)
+
+// TraceSink protects the tamper-evidence contract of the segmented trace
+// store (docs/OBSERVABILITY.md, "Trace store"): every error returned by
+// an internal/tracestore writer or reader call signals a segment, index
+// or seal that did not reach disk intact — discarding one leaves a store
+// that looks healthy but cannot verify, which is the one failure mode a
+// tamper-evident log must never have. An explicit `_ = call()` assignment
+// is the documented opt-out; everything else needs handling or a
+// //lint:ignore tracesink directive with a reason.
+var TraceSink = &driver.Analyzer{
+	Name: "tracesink",
+	Doc: "flags call statements that discard the error result of " +
+		"internal/tracestore calls: a dropped segment/index write or seal " +
+		"error silently breaks the hash chain's auditability; assign to _ " +
+		"explicitly if the error is truly ignorable",
+	Run: runTraceSink,
+}
+
+func runTraceSink(pass *driver.Pass) error {
+	info := pass.Pkg.Info
+	pass.Inspect(func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = ast.Unparen(stmt.X).(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = stmt.Call
+		case *ast.GoStmt:
+			call = stmt.Call
+		}
+		if call == nil {
+			return true
+		}
+		fn := callee(info, call)
+		if fn == nil || !returnsError(fn) || !fromPkg(fn, "internal/tracestore") {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"discarded error from tracestore.%s: a lost segment/index write or seal "+
+				"breaks the hash chain silently (docs/OBSERVABILITY.md); check it or "+
+				"assign to _ explicitly", fn.Name())
+		return true
+	})
+	return nil
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -142,11 +143,25 @@ type TraceHeader struct {
 	Schema int    `json:"schema"`
 }
 
-// tracerCore is the shared sink behind every scoped Tracer view.
+// LineSink receives encoded event lines instead of a flat byte stream —
+// the seam between the tracer and a segmented store. The scope and step
+// ride alongside the line so the sink can index without decoding it;
+// the line is the exact JSON the flat tracer would have written, sans
+// newline. tracestore.Writer satisfies this structurally, keeping the
+// dependency arrow pointing obs → tracestore.
+type LineSink interface {
+	WriteEventLine(scope string, step int64, line []byte) error
+	Flush() error
+}
+
+// tracerCore is the shared sink behind every scoped Tracer view. Exactly
+// one of (bw, enc) or sink is set: flat-file mode encodes straight into
+// the buffered writer; sink mode hands each encoded line to a LineSink.
 type tracerCore struct {
 	mu     sync.Mutex
 	bw     *bufio.Writer
 	enc    *json.Encoder
+	sink   LineSink
 	err    error
 	events int64
 	spans  atomic.Int64
@@ -173,6 +188,14 @@ func NewTracer(w io.Writer) *Tracer {
 		t.c.err = fmt.Errorf("obs: trace header: %w", err)
 	}
 	return t
+}
+
+// NewTracerSink routes events to a LineSink (a segmented trace store)
+// instead of a flat file. No schema-2 header is written — the sink owns
+// its own framing. Everything else (scoped views, spans, wall-clock
+// stamping, sticky errors) behaves identically to NewTracer.
+func NewTracerSink(s LineSink) *Tracer {
+	return &Tracer{c: &tracerCore{sink: s}}
 }
 
 // WithScope returns a view of the tracer whose events carry the given
@@ -240,6 +263,19 @@ func (t *Tracer) Emit(e Event) {
 	if c.stamp && e.TS == 0 {
 		e.TS = time.Now().UnixNano()
 	}
+	if c.sink != nil {
+		line, err := json.Marshal(e)
+		if err != nil {
+			c.err = fmt.Errorf("obs: trace emit: %w", err)
+			return
+		}
+		if err := c.sink.WriteEventLine(e.Scope, e.Step, line); err != nil {
+			c.err = fmt.Errorf("obs: trace emit: %w", err)
+			return
+		}
+		c.events++
+		return
+	}
 	if err := c.enc.Encode(e); err != nil {
 		c.err = fmt.Errorf("obs: trace emit: %w", err)
 		return
@@ -266,6 +302,12 @@ func (t *Tracer) Flush() error {
 	}
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
+	if t.c.sink != nil {
+		if err := t.c.sink.Flush(); err != nil && t.c.err == nil {
+			t.c.err = fmt.Errorf("obs: trace flush: %w", err)
+		}
+		return t.c.err
+	}
 	if err := t.c.bw.Flush(); err != nil && t.c.err == nil {
 		t.c.err = fmt.Errorf("obs: trace flush: %w", err)
 	}
@@ -347,35 +389,67 @@ func (s *Span) EndEpoch(e Event) {
 	s.t.Emit(e)
 }
 
-// ReadEvents decodes a JSONL stream written by a Tracer — the replay side
-// of protocol tracing. A schema header, when present, must match
-// TraceSchema; headerless streams are accepted as the legacy (schema 1)
-// format.
-func ReadEvents(r io.Reader) ([]Event, error) {
+// SchemaError reports a trace whose header declares a schema this build
+// does not read.
+type SchemaError struct {
+	Got, Want int
+}
+
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("obs: trace schema %d is not supported (this build reads schema %d); regenerate the trace with a matching build", e.Got, e.Want)
+}
+
+// StreamEvents decodes a JSONL stream written by a Tracer, handing each
+// event to fn as it is read — the constant-memory replay side of
+// protocol tracing. A schema header, when present, must match
+// TraceSchema (else *SchemaError); headerless streams are accepted as
+// the legacy (schema 1) format. An error from fn aborts the stream and
+// is returned verbatim.
+func StreamEvents(r io.Reader, fn func(Event) error) error {
 	dec := json.NewDecoder(r)
-	var out []Event
 	first := true
+	n := 0
 	for {
 		var raw json.RawMessage
 		if err := dec.Decode(&raw); err == io.EOF {
-			return out, nil
+			return nil
 		} else if err != nil {
-			return out, fmt.Errorf("obs: reading trace event %d: %w", len(out), err)
+			return fmt.Errorf("obs: reading trace event %d: %w", n, err)
 		}
 		if first {
 			first = false
 			var hdr TraceHeader
 			if err := json.Unmarshal(raw, &hdr); err == nil && hdr.Kind == TraceKind {
 				if hdr.Schema != TraceSchema {
-					return nil, fmt.Errorf("obs: trace schema %d is not supported (this build reads schema %d); regenerate the trace with a matching build", hdr.Schema, TraceSchema)
+					return &SchemaError{Got: hdr.Schema, Want: TraceSchema}
 				}
 				continue
 			}
 		}
 		var e Event
 		if err := json.Unmarshal(raw, &e); err != nil {
-			return out, fmt.Errorf("obs: reading trace event %d: %w", len(out), err)
+			return fmt.Errorf("obs: reading trace event %d: %w", n, err)
 		}
-		out = append(out, e)
+		if err := fn(e); err != nil {
+			return err
+		}
+		n++
 	}
+}
+
+// ReadEvents decodes a JSONL stream written by a Tracer into a slice —
+// StreamEvents for callers that want everything in memory. On error the
+// events read so far are returned alongside it, except for a schema
+// mismatch, which returns nil.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	err := StreamEvents(r, func(e Event) error {
+		out = append(out, e)
+		return nil
+	})
+	var se *SchemaError
+	if errors.As(err, &se) {
+		return nil, err
+	}
+	return out, err
 }

@@ -1,0 +1,519 @@
+package tracestore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeStore fills a fresh store in dir with events lines of the shape
+// {"scope":..., "step":...} across the given scopes, rolling as opts
+// dictate, and closes it. Returns the lines written, in order.
+func writeStore(t *testing.T, dir string, opts Options, scopes []string, perScope int) []string {
+	t.Helper()
+	w, err := Create(dir, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	var lines []string
+	for step := 0; step < perScope; step++ {
+		for _, sc := range scopes {
+			line := fmt.Sprintf(`{"scope":%q,"step":%d,"v":%d}`, sc, step, step*7)
+			if err := w.WriteEventLine(sc, int64(step), []byte(line)); err != nil {
+				t.Fatalf("WriteEventLine: %v", err)
+			}
+			lines = append(lines, line)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return lines
+}
+
+func readBack(t *testing.T, dir string) []string {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var got []string
+	if err := st.Scan(func(line []byte) error {
+		got = append(got, string(line))
+		return nil
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripSingleSegment(t *testing.T) {
+	dir := t.TempDir()
+	want := writeStore(t, dir, Options{}, []string{"a", "b"}, 10)
+	got := readBack(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("read %d lines, wrote %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+	info, err := VerifyChain(dir)
+	if err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+	if info.Segments != 1 || info.Events != len(want) || info.Head == "" {
+		t.Fatalf("chain info = %+v, want 1 segment, %d events, non-empty head", info, len(want))
+	}
+}
+
+func TestRollByEventCount(t *testing.T) {
+	dir := t.TempDir()
+	want := writeStore(t, dir, Options{MaxEvents: 7}, []string{"s"}, 25)
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// 25 events at 7/segment: ceil(25/7) = 4 segments.
+	if len(st.Segments) != 4 {
+		t.Fatalf("got %d segments, want 4", len(st.Segments))
+	}
+	got := readBack(t, dir)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("roll changed event order/content")
+	}
+	if _, err := VerifyChain(dir); err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+}
+
+func TestRollByBytes(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, Options{MaxBytes: 400}, []string{"s"}, 40)
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(st.Segments) < 3 {
+		t.Fatalf("byte cap of 400 over ~30-byte lines produced only %d segments", len(st.Segments))
+	}
+	for _, seg := range st.Segments {
+		fi, err := os.Stat(seg.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The cap bounds content; header + seal + one oversize-tolerated
+		// event leave slack, but nothing should balloon.
+		if fi.Size() > 1200 {
+			t.Fatalf("%s is %d bytes, cap was 400", seg.Path, fi.Size())
+		}
+	}
+	if _, err := VerifyChain(dir); err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+}
+
+func TestOversizeEventStillAccepted(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{MaxBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := `{"scope":"s","pad":"` + strings.Repeat("x", 500) + `"}`
+	if err := w.WriteEventLine("s", 0, []byte(big)); err != nil {
+		t.Fatalf("oversize event rejected: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := readBack(t, dir)
+	if len(got) != 1 || got[0] != big {
+		t.Fatalf("oversize event lost or mangled")
+	}
+}
+
+func TestCreateRefusesExistingStore(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, Options{}, []string{"s"}, 1)
+	if _, err := Create(dir, Options{}); err == nil {
+		t.Fatal("Create resumed an existing chained store")
+	}
+}
+
+func TestSealIdempotentAndRollAfterSeal(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEventLine("s", 1, []byte(`{"scope":"s","step":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Seal(); err != nil { // no-op, must not error or write
+		t.Fatalf("second Seal: %v", err)
+	}
+	// Next write opens the successor segment.
+	if err := w.WriteEventLine("s", 2, []byte(`{"scope":"s","step":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := VerifyChain(dir)
+	if err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+	if info.Segments != 2 || info.Events != 2 {
+		t.Fatalf("chain info = %+v, want 2 segments / 2 events", info)
+	}
+}
+
+func TestIndexSeekMatchesFullScan(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, Options{MaxEvents: 10}, []string{"fig9", "fig9/sub", "fig12"}, 20)
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Filter{
+		{Scope: "fig12"},
+		{Scope: "fig9"}, // prefix: matches fig9 and fig9/sub
+		{HasSteps: true, MinStep: 5, MaxStep: 8},
+		{Scope: "fig9/sub", HasSteps: true, MinStep: 0, MaxStep: 3},
+		{Scope: "nope"},
+	}
+	for _, f := range cases {
+		var want []string
+		if err := st.Scan(func(line []byte) error {
+			var ev struct {
+				Scope string `json:"scope"`
+				Step  int64  `json:"step"`
+			}
+			mustUnmarshal(t, line, &ev)
+			if f.MatchScope(ev.Scope) && f.MatchStep(ev.Step) {
+				want = append(want, string(line))
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sel, err := st.Select(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		if err := st.ScanSelection(sel, func(line []byte) error {
+			var ev struct {
+				Scope string `json:"scope"`
+				Step  int64  `json:"step"`
+			}
+			mustUnmarshal(t, line, &ev)
+			if f.MatchScope(ev.Scope) && f.MatchStep(ev.Step) {
+				got = append(got, string(line))
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("filter %+v: index-driven scan disagrees with full scan:\ngot  %d lines\nwant %d lines", f, len(got), len(want))
+		}
+	}
+}
+
+func TestSelectSkipsRuledOutSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{MaxEvents: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segment 0: scope "early" steps 0-4; segment 1+: scope "late" 100+.
+	for i := 0; i < 5; i++ {
+		if err := w.WriteEventLine("early", int64(i), []byte(fmt.Sprintf(`{"scope":"early","step":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 100; i < 105; i++ {
+		if err := w.WriteEventLine("late", int64(i), []byte(fmt.Sprintf(`{"scope":"late","step":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := st.Select(Filter{Scope: "late"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0].Num != 1 {
+		t.Fatalf("Select(scope=late) = %+v, want only segment 1", sel)
+	}
+	sel, err = st.Select(Filter{HasSteps: true, MinStep: 0, MaxStep: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0].Num != 0 {
+		t.Fatalf("Select(steps 0-10) = %+v, want only segment 0", sel)
+	}
+}
+
+func mustUnmarshal(t *testing.T, line []byte, v interface{}) {
+	t.Helper()
+	if err := json.Unmarshal(line, v); err != nil {
+		t.Fatalf("unmarshal %s: %v", line, err)
+	}
+}
+
+// TestCrashBetweenSealAndIndexWrite simulates the torn state the mirror
+// cache exists for: seals landed, index.jsonl lost. LoadIndex must
+// recover every entry from the seals.
+func TestCrashBetweenSealAndIndexWrite(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, Options{MaxEvents: 10}, []string{"a", "b"}, 20)
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := st.LoadIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("store produced no index entries")
+	}
+	// "Crash": the cache mirror never made it to disk.
+	if err := os.Remove(filepath.Join(dir, IndexFile)); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open without index mirror: %v", err)
+	}
+	got, err := st2.LoadIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	// And the chain is still whole: the mirror is pure cache.
+	if _, err := VerifyChain(dir); err != nil {
+		t.Fatalf("VerifyChain after index loss: %v", err)
+	}
+}
+
+// TestVerifyChainBitFlipSweep flips every single bit-position-carrying
+// byte of every segment of a small store, one at a time, and requires
+// VerifyChain to fail each time with a ChainError naming a segment.
+func TestVerifyChainBitFlipSweep(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, Options{MaxEvents: 3}, []string{"s"}, 7)
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range st.Segments {
+		orig, err := os.ReadFile(seg.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos := range orig {
+			mut := make([]byte, len(orig))
+			copy(mut, orig)
+			mut[pos] ^= 0x01
+			if err := os.WriteFile(seg.Path, mut, 0o666); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := VerifyChain(dir); err == nil {
+				t.Fatalf("%s: bit flip at byte %d went undetected", filepath.Base(seg.Path), pos)
+			}
+		}
+		if err := os.WriteFile(seg.Path, orig, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := VerifyChain(dir); err != nil {
+		t.Fatalf("restored store fails verification: %v", err)
+	}
+}
+
+// TestVerifyChainTruncationSweep cuts every suffix length off the final
+// segment (1 byte through the whole file) and requires detection.
+func TestVerifyChainTruncationSweep(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, Options{MaxEvents: 3}, []string{"s"}, 5)
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := st.Segments[len(st.Segments)-1]
+	orig, err := os.ReadFile(last.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut <= len(orig); cut++ {
+		if err := os.WriteFile(last.Path, orig[:len(orig)-cut], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := VerifyChain(dir); err == nil {
+			t.Fatalf("truncating %d byte(s) off %s went undetected", cut, filepath.Base(last.Path))
+		}
+	}
+	// Deleting the whole final segment must also fail (sealed predecessor
+	// has a successor hash no one carries — wait, it does not; deletion of
+	// the tail is caught because VerifyChain requires a sealed final
+	// segment and the predecessor IS sealed... the tail's absence shortens
+	// the chain silently only if the predecessor looks final. That is the
+	// head-anchoring caveat: whole-tail deletion needs the externally
+	// anchored head hash. What IS detectable: deleting a non-final segment.
+	if err := os.WriteFile(last.Path, orig, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(st.Segments[0].Path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyChain(dir); err == nil {
+		t.Fatal("deleting an interior segment went undetected")
+	}
+}
+
+// TestVerifyChainReorder swaps two segment files (contents exchanged,
+// names kept) and requires detection.
+func TestVerifyChainReorder(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, Options{MaxEvents: 3}, []string{"s"}, 9)
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Segments) < 3 {
+		t.Fatalf("want ≥3 segments, got %d", len(st.Segments))
+	}
+	a, b := st.Segments[0].Path, st.Segments[1].Path
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(a, bb, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, ab, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyChain(dir); err == nil {
+		t.Fatal("segment swap went undetected")
+	}
+}
+
+// TestVerifyChainNamesSegment asserts the error is a *ChainError naming
+// the corrupted file.
+func TestVerifyChainNamesSegment(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, Options{MaxEvents: 3}, []string{"s"}, 7)
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := st.Segments[1]
+	raw, err := os.ReadFile(target.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte inside the first event line (past the header), so the
+	// failure is a content-hash breach rather than a structural one.
+	off := strings.IndexByte(string(raw), '\n') + 5
+	f, err := os.OpenFile(target.Path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{'X'}, int64(off)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = VerifyChain(dir)
+	ce, ok := err.(*ChainError)
+	if !ok {
+		t.Fatalf("want *ChainError, got %T: %v", err, err)
+	}
+	if ce.Segment != filepath.Base(target.Path) {
+		t.Fatalf("error names %q, corrupted %q", ce.Segment, filepath.Base(target.Path))
+	}
+}
+
+// TestUnsealedTailReadableButUnverifiable: a writer that died without
+// sealing (kill -9) leaves a readable store whose chain honestly fails.
+func TestUnsealedTailReadableButUnverifiable(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{MaxEvents: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := w.WriteEventLine("s", int64(i), []byte(fmt.Sprintf(`{"scope":"s","step":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil { // flushed but never sealed
+		t.Fatal(err)
+	}
+	// (writer abandoned without Close — simulated crash)
+	got := readBack(t, dir)
+	if len(got) != 7 {
+		t.Fatalf("read %d events from crashed store, want 7", len(got))
+	}
+	if _, err := VerifyChain(dir); err == nil {
+		t.Fatal("unsealed tail passed chain verification")
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEventLine("s", 0, []byte(`{"scope":"s"}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Force a write failure by closing the file out from under the writer.
+	w.mu.Lock()
+	w.f.Close()
+	w.mu.Unlock()
+	var firstErr error
+	for i := 0; i < 3; i++ {
+		// The bufio layer absorbs small writes; Seal forces a flush + sync
+		// against the closed fd.
+		if err := w.Seal(); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		t.Skip("could not provoke a write error on this platform")
+	}
+	if err := w.WriteEventLine("s", 1, []byte(`{"scope":"s"}`)); err == nil {
+		t.Fatal("write after failure succeeded; error must stick")
+	}
+}
