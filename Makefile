@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint fmt-check test race cover bench bench-smoke bench-baseline audit-smoke faults-smoke figures examples fuzz clean
+.PHONY: all check build vet lint fmt-check test race cover bench bench-smoke bench-baseline audit-smoke faults-smoke sinkd-smoke figures examples fuzz clean
 
 all: build test
 
@@ -55,6 +55,25 @@ bench-smoke:
 # across runs.
 bench-baseline:
 	$(GO) run ./cmd/kenbench -baseline-out . -test 600
+	$(GO) run ./cmd/kenswarm -selfhost -tenants 16 -steps 200 -baseline-out .
+
+# sinkd-smoke proves the multi-tenant daemon end to end with real
+# processes: kensinkd pinned to one deployment, three concurrent kensource
+# tenants streaming through the session handshake, the /v1/query answers
+# verified bit-identical to local reference replicas by kenswarm, and a
+# mismatched-spec client rejected with the typed "spec rejected" error.
+sinkd-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"; kill $$daemon 2>/dev/null' EXIT && \
+	$(GO) build -o "$$tmp/kensinkd" ./cmd/kensinkd && \
+	$(GO) build -o "$$tmp/kenswarm" ./cmd/kenswarm && \
+	$(GO) build -o "$$tmp/kensource" ./cmd/kensource && \
+	{ "$$tmp/kensinkd" -pin -seed 1 -listen 127.0.0.1:7171 -http 127.0.0.1:7172 >"$$tmp/daemon.log" 2>&1 & } && daemon=$$! && \
+	"$$tmp/kenswarm" -connect 127.0.0.1:7171 -http http://127.0.0.1:7172 \
+		-seed 1 -tenants 3 -specs 1 -steps 150 -verify && \
+	if "$$tmp/kensource" -connect 127.0.0.1:7171 -tenant intruder -seed 99 -steps 10 2>"$$tmp/rej.log"; then \
+		echo "sinkd-smoke: FAIL (pinned daemon accepted a mismatched spec)"; exit 1; fi && \
+	grep -q "spec rejected" "$$tmp/rej.log" && \
+	echo "sinkd-smoke: PASS (3 tenants verified bit-identical; mismatched spec rejected)"
 
 # audit-smoke proves the protocol invariants on real traces: a kensim lab
 # comparison and the quick benchmark suite at pool widths 1 and 8, each
@@ -112,7 +131,8 @@ examples:
 	$(GO) run ./examples/analysis
 
 fuzz:
-	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz 'FuzzDecode$$' -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz 'FuzzDecodeSession$$' -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzReadCSVMatrix -fuzztime 30s ./internal/trace/
 
 clean:

@@ -1,10 +1,12 @@
-// Command kensink is the base-station endpoint of the streaming Ken
-// system: it builds the sink replica from the shared deployment
-// parameters, listens for one kensource connection, applies report frames
-// as they arrive, and periodically prints the live SELECT * answer.
-//
-// Both binaries must run with the same -dataset/-seed/-train/-k/-eps so
-// the replicas match (deploy.Build is deterministic):
+// Command kensink is the single-tenant base-station endpoint of the
+// streaming Ken system. It builds the sink replica from its deployment
+// flags, listens for one kensource connection, and requires a session
+// handshake: the source's HELLO carries its serialized deployment spec,
+// and kensink accepts only a spec that builds the same replica it is
+// pinned to — a mismatch is answered with a typed REJECT naming both
+// specs, so an operator can tell a stale binary or a wrong flag from
+// corruption. (For many concurrent deployments behind one listener, see
+// kensinkd.)
 //
 //	kensink   -listen 127.0.0.1:7070 -dataset garden -seed 1 -k 2
 //	kensource -connect 127.0.0.1:7070 -dataset garden -seed 1 -k 2 -steps 500
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,42 +31,61 @@ import (
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7070", "address to accept the source connection on")
-	dataset := flag.String("dataset", "garden", "deployment: garden or lab")
-	seed := flag.Int64("seed", 1, "shared deployment seed")
-	train := flag.Int("train", 100, "shared training steps")
-	k := flag.Int("k", 2, "shared max clique size")
-	eps := flag.Float64("eps", 0, "shared error bound override (0 = attribute default)")
-	every := flag.Int("print", 100, "print the live answer every N frames (0 = never)")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
-	var logFlags obs.LogFlags
-	logFlags.Register(flag.CommandLine)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if _, err := logFlags.Setup(nil); err != nil {
-		fmt.Fprintf(os.Stderr, "kensink: %v\n", err)
-		os.Exit(2)
+// options carries the parsed flags; run stays a thin parser so the whole
+// serving path is testable without a process boundary.
+type options struct {
+	listen string
+	params deploy.Params
+	every  int
+	ob     *obs.Observer
+
+	// ready, when non-nil, receives the bound listen address once the
+	// listener is up (tests use it to learn the ephemeral port).
+	ready chan<- string
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kensink", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	o.params.Register(fs)
+	fs.StringVar(&o.listen, "listen", "127.0.0.1:7070", "address to accept the source connection on")
+	fs.IntVar(&o.every, "print", 100, "print the live answer every N frames (0 = never)")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
+	var logFlags obs.LogFlags
+	logFlags.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	ob := &obs.Observer{Reg: obs.NewRegistry()}
+	if _, err := logFlags.Setup(nil); err != nil {
+		fmt.Fprintf(stderr, "kensink: %v\n", err)
+		return 2
+	}
+	o.ob = &obs.Observer{Reg: obs.NewRegistry()}
 	if *obsAddr != "" {
-		_, bound, err := obs.Serve(*obsAddr, ob.Reg)
+		_, bound, err := obs.Serve(*obsAddr, o.ob.Reg)
 		if err != nil {
 			slog.Error("observability endpoint", "err", err)
-			os.Exit(1)
+			return 1
 		}
 		slog.Info("observability endpoint up", "addr", bound.String(),
 			"paths", "/metrics /debug/vars /debug/pprof/")
 	}
-	if err := run(*listen, *dataset, *seed, *train, *k, *eps, *every, ob); err != nil {
+	if err := o.run(stdout); err != nil {
 		slog.Error("run failed", "err", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func run(listen, dataset string, seed int64, train, k int, eps float64, every int, ob *obs.Observer) error {
-	dep, err := deploy.Build(deploy.Params{
-		Dataset: dataset, Seed: seed, TrainSteps: train, K: k, Epsilon: eps,
-	})
+func (o options) run(stdout io.Writer) error {
+	if err := o.params.Validate(); err != nil {
+		return err
+	}
+	dep, err := deploy.Build(o.params)
 	if err != nil {
 		return err
 	}
@@ -71,16 +93,19 @@ func run(listen, dataset string, seed int64, train, k int, eps float64, every in
 	if err != nil {
 		return err
 	}
-	sink.Instrument(ob)
+	sink.Instrument(o.ob)
 
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", o.listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	slog.Info("replica ready", "dataset", dataset, "nodes", dep.N,
+	slog.Info("replica ready", "spec", o.params.ReplicaKey(), "nodes", dep.N,
 		"partition", dep.Partition.String())
 	slog.Info("listening", "addr", ln.Addr().String())
+	if o.ready != nil {
+		o.ready <- ln.Addr().String()
+	}
 
 	conn, err := ln.Accept()
 	if err != nil {
@@ -88,6 +113,10 @@ func run(listen, dataset string, seed int64, train, k int, eps float64, every in
 	}
 	defer conn.Close()
 	slog.Info("source connected", "remote", conn.RemoteAddr().String())
+
+	if err := o.handshake(conn); err != nil {
+		return err
+	}
 
 	frames := 0
 	for {
@@ -102,24 +131,62 @@ func run(listen, dataset string, seed int64, train, k int, eps float64, every in
 			return err
 		}
 		frames++
-		if every > 0 && frames%every == 0 {
-			printAnswer(sink, f)
+		if o.every > 0 && frames%o.every == 0 {
+			printAnswer(stdout, sink, f.Step)
 		}
 	}
 	slog.Info("stream closed", "frames", sink.Steps(), "heartbeats", sink.Heartbeats())
-	printAnswer(sink, wire.Frame{Step: uint64(sink.Steps())})
+	printAnswer(stdout, sink, uint64(sink.Steps()))
 	return nil
 }
 
-func printAnswer(sink *stream.Replica, f wire.Frame) {
+// handshake admits exactly the pinned deployment: same session version,
+// same replica spec. Everything else is answered with a typed REJECT and
+// returned as the matching typed error.
+func (o options) handshake(conn net.Conn) error {
+	h, err := stream.ReadHello(conn)
+	if err != nil {
+		if errors.Is(err, wire.ErrVersionMismatch) {
+			_ = stream.WriteReject(conn, wire.Reject{Code: wire.RejectVersion, Reason: err.Error()})
+		}
+		return err
+	}
+	if h.Version != wire.SessionVersion {
+		reason := fmt.Sprintf("session version mismatch: sink v%d, source v%d",
+			uint64(wire.SessionVersion), h.Version)
+		_ = stream.WriteReject(conn, wire.Reject{Code: wire.RejectVersion, Reason: reason})
+		return fmt.Errorf("%w: local v%d, remote v%d", wire.ErrVersionMismatch, uint64(wire.SessionVersion), h.Version)
+	}
+	p, err := deploy.DecodeSpec(h.Spec)
+	if err != nil {
+		_ = stream.WriteReject(conn, wire.Reject{Code: wire.RejectBadSpec, Reason: err.Error()})
+		return fmt.Errorf("%w: %v", wire.ErrSpecRejected, err)
+	}
+	if p.ReplicaKey() != o.params.ReplicaKey() {
+		reason := fmt.Sprintf("sink is pinned to %s, offered %s", o.params.ReplicaKey(), p.ReplicaKey())
+		_ = stream.WriteReject(conn, wire.Reject{Code: wire.RejectSpecMismatch, Reason: reason})
+		return fmt.Errorf("%w: %s", wire.ErrSpecRejected, reason)
+	}
+	tenant := h.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	if err := stream.WriteAccept(conn, wire.Accept{Tenant: tenant}); err != nil {
+		return err
+	}
+	slog.Info("session accepted", "tenant", tenant, "spec", p.ReplicaKey())
+	return nil
+}
+
+func printAnswer(w io.Writer, sink *stream.Replica, step uint64) {
 	est := sink.Estimates()
-	fmt.Printf("kensink: step %d answer:", f.Step)
+	fmt.Fprintf(w, "kensink: step %d answer:", step)
 	for i, v := range est {
 		if i == 8 {
-			fmt.Printf(" …")
+			fmt.Fprintf(w, " …")
 			break
 		}
-		fmt.Printf(" %.2f", v)
+		fmt.Fprintf(w, " %.2f", v)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }

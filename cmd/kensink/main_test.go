@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"ken/internal/deploy"
+	"ken/internal/stream"
+	"ken/internal/wire"
+)
+
+func TestRunFlagError(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errw); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "-bogus") {
+		t.Fatalf("stderr: %q", errw.String())
+	}
+}
+
+// startSink runs the sink on an ephemeral port and returns its address
+// and result channel.
+func startSink(t *testing.T, p deploy.Params, out io.Writer) (string, <-chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	o := options{listen: "127.0.0.1:0", params: p, every: 10, ready: ready}
+	errCh := make(chan error, 1)
+	go func() { errCh <- o.run(out) }()
+	return <-ready, errCh
+}
+
+func TestSinkAcceptsMatchingSpec(t *testing.T) {
+	p := deploy.Params{Dataset: "garden", Seed: 1, TestSteps: 30, HeartbeatEvery: 10}
+	var out bytes.Buffer
+	addr, errCh := startSink(t, p, &out)
+
+	dep, err := deploy.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := stream.NewSource(dep.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := stream.Handshake(conn, wire.Hello{Tenant: "cli", Spec: p.EncodeSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Tenant != "cli" {
+		t.Fatalf("accept %+v", acc)
+	}
+	for _, row := range dep.Test {
+		f, err := src.Collect(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stream.WriteFrame(conn, f, src.Resolution()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn.Close()
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kensink: step 30 answer:") {
+		t.Fatalf("final answer missing from stdout:\n%s", out.String())
+	}
+}
+
+// TestSinkRejectsMismatchedSpec: the pinned single-tenant sink answers a
+// different deployment with a typed spec-mismatch naming both specs, and
+// both processes surface wire.ErrSpecRejected.
+func TestSinkRejectsMismatchedSpec(t *testing.T) {
+	pinned := deploy.Params{Dataset: "garden", Seed: 1, TestSteps: 10}
+	addr, errCh := startSink(t, pinned, io.Discard)
+
+	other := deploy.Params{Dataset: "garden", Seed: 99, TestSteps: 10}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, err = stream.Handshake(conn, wire.Hello{Tenant: "wrong", Spec: other.EncodeSpec()})
+	if !errors.Is(err, wire.ErrSpecRejected) {
+		t.Fatalf("client got %v, want ErrSpecRejected", err)
+	}
+	if !strings.Contains(err.Error(), pinned.ReplicaKey()) || !strings.Contains(err.Error(), other.ReplicaKey()) {
+		t.Fatalf("reject %q does not name both specs", err)
+	}
+	sinkErr := <-errCh
+	if !errors.Is(sinkErr, wire.ErrSpecRejected) {
+		t.Fatalf("sink returned %v, want ErrSpecRejected", sinkErr)
+	}
+}
+
+// TestSinkRejectsVersionSkew: a future-version HELLO gets a typed version
+// reject on both ends.
+func TestSinkRejectsVersionSkew(t *testing.T) {
+	p := deploy.Params{Dataset: "garden", Seed: 1, TestSteps: 10}
+	addr, errCh := startSink(t, p, io.Discard)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, err = stream.Handshake(conn, wire.Hello{Version: 9, Tenant: "v9", Spec: p.EncodeSpec()})
+	if !errors.Is(err, wire.ErrVersionMismatch) {
+		t.Fatalf("client got %v, want ErrVersionMismatch", err)
+	}
+	if sinkErr := <-errCh; !errors.Is(sinkErr, wire.ErrVersionMismatch) {
+		t.Fatalf("sink returned %v, want ErrVersionMismatch", sinkErr)
+	}
+}

@@ -48,6 +48,23 @@ func (a Aggregate) String() string {
 	}
 }
 
+// ParseAggregate resolves the lowercase aggregate name used on the wire
+// (kensinkd's /v1/query agg= parameter) onto the enum.
+func ParseAggregate(s string) (Aggregate, error) {
+	switch s {
+	case "avg":
+		return Avg, nil
+	case "sum":
+		return Sum, nil
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	default:
+		return 0, fmt.Errorf("query: unknown aggregate %q (avg, sum, min or max)", s)
+	}
+}
+
 // Window selects steps [From, To) of the listed attributes.
 type Window struct {
 	Agg   Aggregate
@@ -132,6 +149,22 @@ func Eval(estimates [][]float64, eps []float64, w Window) (*Answer, error) {
 		return nil, fmt.Errorf("query: unknown aggregate %d", w.Agg)
 	}
 	return ans, nil
+}
+
+// EvalSnapshot evaluates an aggregate over one live answer vector — the
+// single-step window a sink daemon serves from a replica snapshot. An
+// empty attrs selects every attribute.
+func EvalSnapshot(estimates, eps []float64, agg Aggregate, attrs []int) (*Answer, error) {
+	if len(estimates) != len(eps) {
+		return nil, fmt.Errorf("query: %d estimates, %d eps", len(estimates), len(eps))
+	}
+	if len(attrs) == 0 {
+		attrs = make([]int, len(estimates))
+		for i := range attrs {
+			attrs[i] = i
+		}
+	}
+	return Eval([][]float64{estimates}, eps, Window{Agg: agg, Attrs: attrs, From: 0, To: 1})
 }
 
 // TruthAggregate computes the same aggregate over ground truth — the

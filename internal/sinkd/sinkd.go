@@ -1,0 +1,490 @@
+// Package sinkd is the multi-tenant base-station daemon behind
+// cmd/kensinkd. One listener hosts many concurrent deployments: each
+// connection opens with a session handshake (internal/stream,
+// internal/wire) carrying the serialized deployment spec, the daemon
+// builds that tenant's replica via internal/deploy (a spec-keyed,
+// single-flight build cache deduplicates the expensive model selection
+// across tenants sharing a spec), and per-tenant goroutines apply the
+// report stream under a bounded frame budget — a tenant that outruns its
+// budget is shed with a typed wire.Reject frame instead of ever blocking
+// the accept loop or the other tenants. Live answers are served
+// thread-safely from the replicas (stream.Replica.Answer) through the
+// HTTP query API in http.go.
+package sinkd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"ken/internal/deploy"
+	"ken/internal/obs"
+	"ken/internal/stream"
+	"ken/internal/wire"
+)
+
+// Config sizes and polices the daemon.
+type Config struct {
+	// MaxTenants caps concurrently registered tenants (default 1024);
+	// further HELLOs are rejected with wire.RejectOverloaded.
+	MaxTenants int
+	// FrameBudget bounds each tenant's queue of decoded-but-unapplied
+	// frames (default 256). A source that overruns it is shed with
+	// wire.RejectSlowTenant.
+	FrameBudget int
+	// HandshakeTimeout bounds how long a connection may sit between
+	// accept and a complete HELLO (default 10s) so half-open dials
+	// cannot pin goroutines.
+	HandshakeTimeout time.Duration
+	// Pin, when non-nil, restricts admission to specs that build the
+	// same replica (deploy.Params.ReplicaKey); others are rejected with
+	// wire.RejectSpecMismatch. TestSteps/HeartbeatEvery may still differ.
+	Pin *deploy.Params
+	// Obs receives the daemon-wide metrics (sinkd_* series).
+	Obs *obs.Observer
+
+	// applyDelay slows every frame apply; a test hook for exercising the
+	// backpressure path deterministically.
+	applyDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 1024
+	}
+	if c.FrameBudget <= 0 {
+		c.FrameBudget = 256
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// TenantState is the lifecycle phase of a tenant session.
+type TenantState string
+
+const (
+	// StateBuilding: handshake received, replica still being built.
+	StateBuilding TenantState = "building"
+	// StateStreaming: accepted and applying frames.
+	StateStreaming TenantState = "streaming"
+	// StateClosed: the source finished and closed the stream cleanly.
+	StateClosed TenantState = "closed"
+	// StateShed: the tenant outran its frame budget and was disconnected
+	// with a typed reject; its replica stays queryable.
+	StateShed TenantState = "shed"
+	// StateFailed: the stream died on a decode or apply error.
+	StateFailed TenantState = "failed"
+)
+
+func (s TenantState) terminal() bool {
+	return s == StateClosed || s == StateShed || s == StateFailed
+}
+
+// tenant is one deployment session and its replica.
+type tenant struct {
+	name   string
+	params deploy.Params
+	remote string
+
+	mu      sync.Mutex
+	state   TenantState
+	detail  string          // failure/shed reason
+	replica *stream.Replica // nil until built
+	reg     *obs.Registry   // per-tenant stream_* metrics
+
+	frames chan wire.Frame
+}
+
+// setState advances the lifecycle; terminal states are sticky so a late
+// applier error cannot overwrite the shed/closed verdict.
+func (t *tenant) setState(s TenantState, detail string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state.terminal() {
+		return
+	}
+	t.state = s
+	t.detail = detail
+}
+
+func (t *tenant) snapshot() (TenantState, string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state, t.detail
+}
+
+// buildEntry single-flights one deploy.Build per replica key.
+type buildEntry struct {
+	once sync.Once
+	dep  *deploy.Deployment
+	err  error
+}
+
+// Daemon hosts many concurrent tenant deployments behind one listener.
+type Daemon struct {
+	cfg Config
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	builds  map[string]*buildEntry
+	conns   map[net.Conn]struct{}
+	seq     int
+	closed  bool
+	wg      sync.WaitGroup
+
+	// Daemon-wide metrics (per-tenant stream_* series live in each
+	// tenant's own registry, served via the HTTP API).
+	mSessions *obs.Counter // sinkd_sessions_total
+	mAccepts  *obs.Counter // sinkd_sessions_accepted_total
+	mRejects  *obs.Counter // sinkd_sessions_rejected_total
+	mFrames   *obs.Counter // sinkd_frames_total
+	mValues   *obs.Counter // sinkd_values_total
+	mShed     *obs.Counter // sinkd_tenants_shed_total
+	mQueries  *obs.Counter // sinkd_queries_total
+	gTenants  *obs.Gauge   // sinkd_tenants_registered
+}
+
+// New assembles a daemon. Serve starts it; Close tears it down.
+func New(cfg Config) *Daemon {
+	cfg = cfg.withDefaults()
+	if cfg.Obs == nil {
+		// Counters stay live even unobserved: they are cheap and the shed /
+		// reject totals are part of the daemon's behavioural contract.
+		cfg.Obs = &obs.Observer{Reg: obs.NewRegistry()}
+	}
+	reg := cfg.Obs.Registry()
+	return &Daemon{
+		cfg:       cfg,
+		tenants:   map[string]*tenant{},
+		builds:    map[string]*buildEntry{},
+		conns:     map[net.Conn]struct{}{},
+		mSessions: reg.Counter("sinkd_sessions_total"),
+		mAccepts:  reg.Counter("sinkd_sessions_accepted_total"),
+		mRejects:  reg.Counter("sinkd_sessions_rejected_total"),
+		mFrames:   reg.Counter("sinkd_frames_total"),
+		mValues:   reg.Counter("sinkd_values_total"),
+		mShed:     reg.Counter("sinkd_tenants_shed_total"),
+		mQueries:  reg.Counter("sinkd_queries_total"),
+		gTenants:  reg.Gauge("sinkd_tenants_registered"),
+	}
+}
+
+// Serve runs the accept loop until the listener closes. Every connection
+// is handled on its own goroutine — handshake, replica build and frame
+// application never run on the accept path, so one slow or hostile client
+// cannot delay admission of the next.
+func (d *Daemon) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		d.conns[conn] = struct{}{}
+		d.wg.Add(1)
+		d.mu.Unlock()
+		go d.handleConn(conn)
+	}
+}
+
+// Close disconnects every live session and waits for their goroutines.
+// The tenants stay registered: their replicas remain queryable through
+// the HTTP API until the process exits.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	d.closed = true
+	for c := range d.conns {
+		_ = c.Close()
+	}
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// reject answers a handshake (or sheds a stream) with a typed REJECT and
+// counts it. Write errors are ignored — the peer may already be gone.
+func (d *Daemon) reject(conn net.Conn, code wire.RejectCode, format string, args ...any) {
+	d.mRejects.Inc()
+	_ = stream.WriteReject(conn, wire.Reject{Code: code, Reason: fmt.Sprintf(format, args...)})
+}
+
+// handleConn drives one session end to end.
+func (d *Daemon) handleConn(conn net.Conn) {
+	defer d.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		d.mu.Lock()
+		delete(d.conns, conn)
+		d.mu.Unlock()
+	}()
+
+	d.mSessions.Inc()
+	_ = conn.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
+	h, err := stream.ReadHello(conn)
+	if err != nil {
+		if errors.Is(err, wire.ErrVersionMismatch) {
+			d.reject(conn, wire.RejectVersion, "%v", err)
+		} else {
+			d.mRejects.Inc()
+		}
+		return
+	}
+	if h.Version != wire.SessionVersion {
+		d.reject(conn, wire.RejectVersion,
+			"session version mismatch: sink v%d, source v%d", uint64(wire.SessionVersion), h.Version)
+		return
+	}
+	p, err := deploy.DecodeSpec(h.Spec)
+	if err != nil {
+		d.reject(conn, wire.RejectBadSpec, "%v", err)
+		return
+	}
+	if err := p.Validate(); err != nil {
+		d.reject(conn, wire.RejectBadSpec, "%v", err)
+		return
+	}
+	if d.cfg.Pin != nil && p.ReplicaKey() != d.cfg.Pin.ReplicaKey() {
+		d.reject(conn, wire.RejectSpecMismatch,
+			"sink is pinned to %s, offered %s", d.cfg.Pin.ReplicaKey(), p.ReplicaKey())
+		return
+	}
+
+	tn, rejCode, rejReason := d.register(h.Tenant, p, conn.RemoteAddr().String())
+	if tn == nil {
+		d.reject(conn, rejCode, "%s", rejReason)
+		return
+	}
+	dep, err := d.build(p)
+	if err != nil {
+		d.unregister(tn.name)
+		d.reject(conn, wire.RejectBadSpec, "building deployment: %v", err)
+		return
+	}
+	replica, err := stream.NewReplica(dep.Config)
+	if err != nil {
+		d.unregister(tn.name)
+		d.reject(conn, wire.RejectBadSpec, "building replica: %v", err)
+		return
+	}
+	replica.Instrument(&obs.Observer{Reg: tn.reg})
+	tn.mu.Lock()
+	tn.replica = replica
+	tn.mu.Unlock()
+
+	if err := stream.WriteAccept(conn, wire.Accept{Tenant: tn.name}); err != nil {
+		tn.setState(StateFailed, fmt.Sprintf("writing accept: %v", err))
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	tn.setState(StateStreaming, "")
+	d.mAccepts.Inc()
+	d.stream(conn, tn, replica)
+}
+
+// register reserves the tenant name (assigning one when empty). A name
+// whose previous session already ended is replaced — reconnecting with a
+// fresh spec starts a fresh deployment; a live duplicate is rejected.
+func (d *Daemon) register(name string, p deploy.Params, remote string) (*tenant, wire.RejectCode, string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if name == "" {
+		d.seq++
+		name = fmt.Sprintf("t%d", d.seq)
+	}
+	if old, ok := d.tenants[name]; ok {
+		if st, _ := old.snapshot(); !st.terminal() {
+			return nil, wire.RejectDuplicateTenant, fmt.Sprintf("tenant %q is already streaming", name)
+		}
+	}
+	live := 0
+	for _, t := range d.tenants {
+		if st, _ := t.snapshot(); !st.terminal() {
+			live++
+		}
+	}
+	if live >= d.cfg.MaxTenants {
+		return nil, wire.RejectOverloaded, fmt.Sprintf("at capacity (%d live tenants)", live)
+	}
+	tn := &tenant{
+		name:   name,
+		params: p,
+		remote: remote,
+		state:  StateBuilding,
+		reg:    obs.NewRegistry(),
+		frames: make(chan wire.Frame, d.cfg.FrameBudget),
+	}
+	d.tenants[name] = tn
+	d.gTenants.Set(float64(len(d.tenants)))
+	return tn, 0, ""
+}
+
+func (d *Daemon) unregister(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.tenants, name)
+	d.gTenants.Set(float64(len(d.tenants)))
+}
+
+// build returns the deployment for p's replica key, building it at most
+// once across all tenants (single-flight). TestSteps is normalized to the
+// minimum: the sink needs the training prefix only, and generators are
+// prefix-stable, so tenants that differ in TestSteps share one build.
+func (d *Daemon) build(p deploy.Params) (*deploy.Deployment, error) {
+	key := p.ReplicaKey()
+	d.mu.Lock()
+	e, ok := d.builds[key]
+	if !ok {
+		e = &buildEntry{}
+		d.builds[key] = e
+	}
+	d.mu.Unlock()
+	e.once.Do(func() {
+		sinkParams := p
+		sinkParams.TestSteps = 1
+		sinkParams.HeartbeatEvery = 0
+		e.dep, e.err = deploy.Build(sinkParams)
+	})
+	return e.dep, e.err
+}
+
+// stream is the per-tenant ingest loop: a reader goroutine decodes frames
+// off the socket and a separate applier folds them into the replica, so a
+// long Gaussian conditioning never backs up into the kernel buffers of
+// other connections. The channel between them is the tenant's frame
+// budget: when it overflows, the tenant is shed with a typed reject
+// rather than blocking.
+func (d *Daemon) stream(conn net.Conn, tn *tenant, replica *stream.Replica) {
+	applyDone := make(chan struct{})
+	go func() {
+		defer close(applyDone)
+		for f := range tn.frames {
+			if d.cfg.applyDelay > 0 {
+				time.Sleep(d.cfg.applyDelay)
+			}
+			if err := replica.Apply(f); err != nil {
+				tn.setState(StateFailed, fmt.Sprintf("applying frame %d: %v", f.Step, err))
+				// Drain so the reader never blocks on a dead applier.
+				for range tn.frames {
+				}
+				return
+			}
+			d.mFrames.Inc()
+			d.mValues.Add(int64(len(f.Attrs)))
+		}
+	}()
+
+reader:
+	for {
+		f, err := stream.ReadFrame(conn, replica.Resolution())
+		if err == io.EOF {
+			tn.setState(StateClosed, "")
+			break
+		}
+		if err != nil {
+			tn.setState(StateFailed, fmt.Sprintf("reading frame: %v", err))
+			break
+		}
+		if st, _ := tn.snapshot(); st.terminal() {
+			break // applier failed; stop reading
+		}
+		select {
+		case tn.frames <- f:
+		default:
+			d.mShed.Inc()
+			tn.setState(StateShed, fmt.Sprintf(
+				"outran the %d-frame budget at step %d", d.cfg.FrameBudget, f.Step))
+			d.reject(conn, wire.RejectSlowTenant,
+				"shed: outran the %d-frame budget at step %d; reconnect to resume",
+				d.cfg.FrameBudget, f.Step)
+			break reader
+		}
+	}
+	close(tn.frames)
+	<-applyDone
+}
+
+// TenantInfo is the /v1/tenants summary of one tenant.
+type TenantInfo struct {
+	Name       string      `json:"name"`
+	State      TenantState `json:"state"`
+	Detail     string      `json:"detail,omitempty"`
+	Spec       string      `json:"spec"`
+	Remote     string      `json:"remote,omitempty"`
+	Step       int         `json:"step"`
+	Heartbeats int         `json:"heartbeats"`
+}
+
+// Tenants lists every registered tenant, sorted by name for deterministic
+// output.
+func (d *Daemon) Tenants() []TenantInfo {
+	d.mu.Lock()
+	tns := make([]*tenant, 0, len(d.tenants))
+	for _, t := range d.tenants {
+		tns = append(tns, t)
+	}
+	d.mu.Unlock()
+	sort.Slice(tns, func(i, j int) bool { return tns[i].name < tns[j].name })
+	out := make([]TenantInfo, 0, len(tns))
+	for _, t := range tns {
+		st, detail := t.snapshot()
+		info := TenantInfo{
+			Name: t.name, State: st, Detail: detail,
+			Spec: t.params.ReplicaKey(), Remote: t.remote,
+		}
+		t.mu.Lock()
+		replica := t.replica
+		t.mu.Unlock()
+		if replica != nil {
+			info.Step = replica.Steps()
+			info.Heartbeats = replica.Heartbeats()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// lookup returns the named tenant.
+func (d *Daemon) lookup(name string) (*tenant, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.tenants[name]
+	return t, ok
+}
+
+// Answer snapshots the named tenant's live SELECT * answer.
+func (d *Daemon) Answer(name string) (stream.Answer, bool) {
+	t, ok := d.lookup(name)
+	if !ok {
+		return stream.Answer{}, false
+	}
+	t.mu.Lock()
+	replica := t.replica
+	t.mu.Unlock()
+	if replica == nil {
+		return stream.Answer{}, false
+	}
+	return replica.Answer(), true
+}
+
+// Metrics snapshots the named tenant's per-tenant registry (the stream_*
+// series of its replica).
+func (d *Daemon) Metrics(name string) (obs.Snapshot, bool) {
+	t, ok := d.lookup(name)
+	if !ok {
+		return obs.Snapshot{}, false
+	}
+	return t.reg.Snapshot(), true
+}

@@ -1,0 +1,138 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"ken/internal/wire"
+)
+
+// pipePair runs the sink side in a goroutine and the client side inline.
+func pipePair(t *testing.T, sink func(net.Conn)) net.Conn {
+	t.Helper()
+	client, srv := net.Pipe()
+	t.Cleanup(func() { client.Close(); srv.Close() })
+	go sink(srv)
+	return client
+}
+
+func TestHandshakeAccept(t *testing.T) {
+	spec := []byte{1, 2, 3}
+	client := pipePair(t, func(conn net.Conn) {
+		h, err := ReadHello(conn)
+		if err != nil {
+			t.Errorf("sink ReadHello: %v", err)
+			return
+		}
+		if h.Version != wire.SessionVersion || h.Tenant != "a" || !bytes.Equal(h.Spec, spec) {
+			t.Errorf("sink got hello %+v", h)
+		}
+		// Version left 0: WriteAccept fills in this build's version.
+		if err := WriteAccept(conn, wire.Accept{Tenant: "a"}); err != nil {
+			t.Errorf("sink WriteAccept: %v", err)
+		}
+	})
+	acc, err := Handshake(client, wire.Hello{Tenant: "a", Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Tenant != "a" || acc.Version != wire.SessionVersion {
+		t.Fatalf("accept %+v", acc)
+	}
+}
+
+func TestHandshakeReject(t *testing.T) {
+	client := pipePair(t, func(conn net.Conn) {
+		if _, err := ReadHello(conn); err != nil {
+			t.Errorf("sink ReadHello: %v", err)
+			return
+		}
+		_ = WriteReject(conn, wire.Reject{Code: wire.RejectSpecMismatch, Reason: "pinned to garden/seed=1"})
+	})
+	_, err := Handshake(client, wire.Hello{Tenant: "b"})
+	if !errors.Is(err, wire.ErrSpecRejected) {
+		t.Fatalf("reject surfaced as %v, want ErrSpecRejected", err)
+	}
+	if !strings.Contains(err.Error(), "pinned to garden/seed=1") {
+		t.Fatalf("sink's reason lost: %v", err)
+	}
+}
+
+func TestHandshakeVersionSkew(t *testing.T) {
+	client := pipePair(t, func(conn net.Conn) {
+		if _, err := ReadHello(conn); err != nil {
+			return
+		}
+		_ = WriteAccept(conn, wire.Accept{Version: 99, Tenant: "c"})
+	})
+	_, err := Handshake(client, wire.Hello{Tenant: "c"})
+	if !errors.Is(err, wire.ErrVersionMismatch) {
+		t.Fatalf("skewed accept surfaced as %v, want ErrVersionMismatch", err)
+	}
+	// The error must name both sides' versions.
+	if !strings.Contains(err.Error(), "v1") || !strings.Contains(err.Error(), "v99") {
+		t.Fatalf("error %q does not name both versions", err)
+	}
+}
+
+// TestHandshakeStaleSink: a pre-session sink echoes nothing the session
+// parser understands; here it answers with a raw report frame and the
+// client must call that a version mismatch, not corruption.
+func TestHandshakeStaleSink(t *testing.T) {
+	client := pipePair(t, func(conn net.Conn) {
+		if _, err := ReadHello(conn); err != nil {
+			return
+		}
+		f := wire.Frame{Step: 1, Attrs: []int{0}, Values: []float64{1}}
+		_ = WriteFrame(conn, f, 0.01)
+	})
+	_, err := Handshake(client, wire.Hello{})
+	if !errors.Is(err, wire.ErrVersionMismatch) {
+		t.Fatalf("stale sink surfaced as %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestHandshakeSinkClosed(t *testing.T) {
+	client := pipePair(t, func(conn net.Conn) {
+		if _, err := ReadHello(conn); err != nil {
+			return
+		}
+		conn.Close()
+	})
+	_, err := Handshake(client, wire.Hello{})
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("closed sink surfaced as %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestReadHelloStalePeer: sink-side, a client that opens with a raw
+// report frame is a stale binary — a typed version mismatch the daemon
+// turns into a RejectVersion frame.
+func TestReadHelloStalePeer(t *testing.T) {
+	var buf bytes.Buffer
+	f := wire.Frame{Step: 1, Attrs: []int{0}, Values: []float64{1}}
+	if err := WriteFrame(&buf, f, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadHello(&buf)
+	if !errors.Is(err, wire.ErrVersionMismatch) {
+		t.Fatalf("stale client surfaced as %v, want ErrVersionMismatch", err)
+	}
+}
+
+// TestReadHelloWrongKind: an ACCEPT where a HELLO belongs is a protocol
+// violation, named as such.
+func TestReadHelloWrongKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAccept(&buf, wire.Accept{Tenant: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadHello(&buf)
+	if err == nil || !strings.Contains(err.Error(), "expected hello") {
+		t.Fatalf("wrong-kind frame surfaced as %v", err)
+	}
+}

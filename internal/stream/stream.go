@@ -238,7 +238,8 @@ type Replica struct {
 	cl   []cliqueState
 	res  float64
 	n    int
-	next uint64 // expected next frame step
+	eps  []float64 // end-to-end per-attribute bounds (from the config)
+	next uint64    // expected next frame step
 	// Frames counts applied frames; Heartbeats counts heartbeat frames.
 	frames, heartbeats int
 
@@ -269,7 +270,8 @@ func NewReplica(cfg Config) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Replica{cl: cl, res: res, n: len(cfg.Eps)}, nil
+	return &Replica{cl: cl, res: res, n: len(cfg.Eps),
+		eps: append([]float64(nil), cfg.Eps...)}, nil
 }
 
 // Resolution returns the negotiated wire resolution.
@@ -335,6 +337,42 @@ func (r *Replica) Estimates() []float64 {
 	return out
 }
 
+// Answer is a self-consistent snapshot of the replica's live SELECT *
+// answer: the estimates and the ±ε contract they were collected under,
+// tagged with the number of frames folded in. The slices are copies — the
+// caller may keep them across further Apply calls.
+type Answer struct {
+	// Step counts the frames applied when the snapshot was taken.
+	Step int `json:"step"`
+	// Estimates is the per-attribute answer vector.
+	Estimates []float64 `json:"estimates"`
+	// Eps is the per-attribute end-to-end error bound.
+	Eps []float64 `json:"eps"`
+	// Heartbeats counts heartbeat frames among the applied ones.
+	Heartbeats int `json:"heartbeats"`
+}
+
+// Answer atomically snapshots the live answer with its bounds — the unit
+// a concurrent query API serves while frames keep applying.
+func (r *Replica) Answer() Answer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]float64, r.n)
+	for ci := range r.cl {
+		c := &r.cl[ci]
+		mean := c.mdl.Mean()
+		for i, g := range c.members {
+			out[g] = mean[i]
+		}
+	}
+	return Answer{
+		Step:       r.frames,
+		Estimates:  out,
+		Eps:        append([]float64(nil), r.eps...),
+		Heartbeats: r.heartbeats,
+	}
+}
+
 // Steps returns how many frames have been applied.
 func (r *Replica) Steps() int {
 	r.mu.Lock()
@@ -349,12 +387,8 @@ func (r *Replica) Heartbeats() int {
 	return r.heartbeats
 }
 
-// WriteFrame length-prefixes and writes one encoded frame.
-func WriteFrame(w io.Writer, f wire.Frame, res float64) error {
-	buf, err := wire.Encode(f, res)
-	if err != nil {
-		return err
-	}
+// writeRaw length-prefixes and writes one encoded frame body.
+func writeRaw(w io.Writer, buf []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -366,23 +400,42 @@ func WriteFrame(w io.Writer, f wire.Frame, res float64) error {
 	return nil
 }
 
-// ReadFrame reads one length-prefixed frame. io.EOF at a frame boundary is
-// returned as io.EOF; a partial frame is an unexpected-EOF error.
-func ReadFrame(rd io.Reader, res float64) (wire.Frame, error) {
+// readRaw reads one length-prefixed frame body. io.EOF at a frame boundary
+// is returned as io.EOF; a partial frame is an unexpected-EOF error.
+func readRaw(rd io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
 		if err == io.EOF {
-			return wire.Frame{}, io.EOF
+			return nil, io.EOF
 		}
-		return wire.Frame{}, fmt.Errorf("stream: read header: %w", err)
+		return nil, fmt.Errorf("stream: read header: %w", err)
 	}
 	size := binary.BigEndian.Uint32(hdr[:])
 	if size > maxFrameBytes {
-		return wire.Frame{}, fmt.Errorf("stream: frame of %d bytes exceeds limit", size)
+		return nil, fmt.Errorf("stream: frame of %d bytes exceeds limit", size)
 	}
 	buf := make([]byte, size)
 	if _, err := io.ReadFull(rd, buf); err != nil {
-		return wire.Frame{}, fmt.Errorf("stream: read frame: %w", err)
+		return nil, fmt.Errorf("stream: read frame: %w", err)
+	}
+	return buf, nil
+}
+
+// WriteFrame length-prefixes and writes one encoded frame.
+func WriteFrame(w io.Writer, f wire.Frame, res float64) error {
+	buf, err := wire.Encode(f, res)
+	if err != nil {
+		return err
+	}
+	return writeRaw(w, buf)
+}
+
+// ReadFrame reads one length-prefixed frame. io.EOF at a frame boundary is
+// returned as io.EOF; a partial frame is an unexpected-EOF error.
+func ReadFrame(rd io.Reader, res float64) (wire.Frame, error) {
+	buf, err := readRaw(rd)
+	if err != nil {
+		return wire.Frame{}, err
 	}
 	return wire.Decode(buf, res)
 }

@@ -1,0 +1,288 @@
+// Session-layer frames. Before any report frame flows, the source opens
+// the connection with a HELLO carrying the session protocol version, its
+// chosen tenant name, and the serialized deployment spec (opaque bytes at
+// this layer — internal/deploy owns the schema). The sink answers with a
+// typed ACCEPT (echoing the assigned tenant) or REJECT (a machine-readable
+// code plus a human reason). This replaces the old implicit contract where
+// both processes had to be launched with byte-identical CLI flags: the
+// spec travels in-band, so one sink can serve many deployments and a
+// mismatch is a named error instead of a garbled decode.
+//
+// Layout (all integers uvarint unless noted):
+//
+//	HELLO:  0xC5 0x00  version  len(tenant) tenant  len(spec) spec
+//	ACCEPT: 0xC5 0x01  version  len(tenant) tenant
+//	REJECT: 0xC5 0x02  version  code  len(reason) reason
+//
+// SessionMagic differs from the report-frame Magic, so a pre-session
+// binary that opens with a report frame is recognised as a stale peer
+// (ErrVersionMismatch) rather than corruption.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// SessionMagic marks a session-layer frame (HELLO/ACCEPT/REJECT).
+const SessionMagic = 0xC5
+
+// SessionVersion is the session protocol version this build speaks. The
+// handshake requires an exact match: the replica lock-step guarantee is
+// only as strong as both endpoints running the same protocol.
+const SessionVersion = 1
+
+// Limits guard the session parser against hostile lengths.
+const (
+	maxTenantLen = 128
+	maxSpecLen   = 4096
+	maxReasonLen = 1024
+)
+
+// ErrVersionMismatch reports that the two endpoints speak different
+// session protocol versions (including a pre-session peer that opened
+// with a raw report frame). The wrapped message names both versions so an
+// operator can tell a stale binary from corruption.
+var ErrVersionMismatch = errors.New("wire: session version mismatch")
+
+// ErrSpecRejected reports that the sink refused the deployment spec
+// offered in HELLO. The wrapped message carries the reject code and the
+// sink's reason.
+var ErrSpecRejected = errors.New("wire: spec rejected")
+
+// SessionKind discriminates the session frames.
+type SessionKind byte
+
+const (
+	// KindHello opens a session: version + tenant + deployment spec.
+	KindHello SessionKind = 0
+	// KindAccept confirms the session; reports may follow.
+	KindAccept SessionKind = 1
+	// KindReject refuses the session (or sheds it mid-stream) with a
+	// typed reason; the sink closes the connection after sending it.
+	KindReject SessionKind = 2
+)
+
+// RejectCode is the machine-readable reason of a REJECT frame.
+type RejectCode uint8
+
+const (
+	// RejectVersion: the endpoints speak different session versions.
+	RejectVersion RejectCode = 1
+	// RejectBadSpec: the spec failed to decode, validate or build.
+	RejectBadSpec RejectCode = 2
+	// RejectSpecMismatch: the sink is pinned to one deployment and the
+	// offered spec builds a different replica.
+	RejectSpecMismatch RejectCode = 3
+	// RejectOverloaded: the sink is at its tenant capacity.
+	RejectOverloaded RejectCode = 4
+	// RejectDuplicateTenant: the tenant name is already connected.
+	RejectDuplicateTenant RejectCode = 5
+	// RejectSlowTenant: the tenant outran its frame budget and was shed
+	// so it could not block other tenants (sent mid-stream).
+	RejectSlowTenant RejectCode = 6
+)
+
+// String names the code.
+func (c RejectCode) String() string {
+	switch c {
+	case RejectVersion:
+		return "version-mismatch"
+	case RejectBadSpec:
+		return "bad-spec"
+	case RejectSpecMismatch:
+		return "spec-mismatch"
+	case RejectOverloaded:
+		return "overloaded"
+	case RejectDuplicateTenant:
+		return "duplicate-tenant"
+	case RejectSlowTenant:
+		return "slow-tenant"
+	default:
+		return fmt.Sprintf("reject(%d)", uint8(c))
+	}
+}
+
+// Hello is the client's opening frame.
+type Hello struct {
+	// Version is the client's SessionVersion.
+	Version uint64
+	// Tenant is the client-chosen tenant name (may be empty; the sink
+	// assigns one and echoes it in ACCEPT).
+	Tenant string
+	// Spec is the serialized deployment spec (internal/deploy schema).
+	Spec []byte
+}
+
+// Accept confirms a session.
+type Accept struct {
+	// Version is the sink's SessionVersion.
+	Version uint64
+	// Tenant is the assigned tenant name (the HELLO name, or generated).
+	Tenant string
+}
+
+// Reject refuses or sheds a session.
+type Reject struct {
+	// Version is the sink's SessionVersion.
+	Version uint64
+	// Code is the machine-readable reason.
+	Code RejectCode
+	// Reason is the human-readable detail.
+	Reason string
+}
+
+// Err converts the reject into the typed error a client should surface:
+// ErrVersionMismatch for RejectVersion, ErrSpecRejected otherwise. The
+// message keeps the code and the sink's reason.
+func (r Reject) Err() error {
+	if r.Code == RejectVersion {
+		return fmt.Errorf("%w: local v%d: %s", ErrVersionMismatch, uint64(SessionVersion), r.Reason)
+	}
+	return fmt.Errorf("%w (%s): %s", ErrSpecRejected, r.Code, r.Reason)
+}
+
+// Session is one decoded session-layer frame; exactly one field is set.
+type Session struct {
+	Hello  *Hello
+	Accept *Accept
+	Reject *Reject
+}
+
+// Kind returns the discriminator of the decoded frame.
+func (s Session) Kind() SessionKind {
+	switch {
+	case s.Hello != nil:
+		return KindHello
+	case s.Accept != nil:
+		return KindAccept
+	default:
+		return KindReject
+	}
+}
+
+// EncodeHello serialises a HELLO frame.
+func EncodeHello(h Hello) ([]byte, error) {
+	if len(h.Tenant) > maxTenantLen {
+		return nil, fmt.Errorf("wire: tenant name of %d bytes exceeds %d", len(h.Tenant), maxTenantLen)
+	}
+	if len(h.Spec) > maxSpecLen {
+		return nil, fmt.Errorf("wire: spec of %d bytes exceeds %d", len(h.Spec), maxSpecLen)
+	}
+	buf := make([]byte, 0, 8+len(h.Tenant)+len(h.Spec))
+	buf = append(buf, SessionMagic, byte(KindHello))
+	buf = binary.AppendUvarint(buf, h.Version)
+	buf = appendBytes(buf, []byte(h.Tenant))
+	buf = appendBytes(buf, h.Spec)
+	return buf, nil
+}
+
+// EncodeAccept serialises an ACCEPT frame.
+func EncodeAccept(a Accept) ([]byte, error) {
+	if len(a.Tenant) > maxTenantLen {
+		return nil, fmt.Errorf("wire: tenant name of %d bytes exceeds %d", len(a.Tenant), maxTenantLen)
+	}
+	buf := make([]byte, 0, 8+len(a.Tenant))
+	buf = append(buf, SessionMagic, byte(KindAccept))
+	buf = binary.AppendUvarint(buf, a.Version)
+	buf = appendBytes(buf, []byte(a.Tenant))
+	return buf, nil
+}
+
+// EncodeReject serialises a REJECT frame.
+func EncodeReject(r Reject) ([]byte, error) {
+	if len(r.Reason) > maxReasonLen {
+		r.Reason = r.Reason[:maxReasonLen]
+	}
+	buf := make([]byte, 0, 8+len(r.Reason))
+	buf = append(buf, SessionMagic, byte(KindReject))
+	buf = binary.AppendUvarint(buf, r.Version)
+	buf = binary.AppendUvarint(buf, uint64(r.Code))
+	buf = appendBytes(buf, []byte(r.Reason))
+	return buf, nil
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func readBytes(buf []byte, limit int, what string) ([]byte, []byte, error) {
+	n64, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("%w: %s length", ErrCorrupt, what)
+	}
+	buf = buf[n:]
+	if n64 > uint64(limit) {
+		return nil, nil, fmt.Errorf("%w: %s of %d bytes exceeds %d", ErrCorrupt, what, n64, limit)
+	}
+	if uint64(len(buf)) < n64 {
+		return nil, nil, fmt.Errorf("%w: truncated %s", ErrCorrupt, what)
+	}
+	return buf[:n64], buf[n64:], nil
+}
+
+// DecodeSession parses one session-layer frame. A buffer that starts with
+// the report-frame Magic instead of SessionMagic is a stale, pre-session
+// peer and yields ErrVersionMismatch (naming "v0"), not ErrCorrupt — an
+// operator must be able to tell an old binary from a corrupt stream.
+func DecodeSession(buf []byte) (Session, error) {
+	if len(buf) < 2 {
+		return Session{}, fmt.Errorf("%w: short session frame", ErrCorrupt)
+	}
+	if buf[0] == Magic {
+		return Session{}, fmt.Errorf("%w: local v%d, remote v0 (peer opened with a pre-session report frame; stale binary?)",
+			ErrVersionMismatch, uint64(SessionVersion))
+	}
+	if buf[0] != SessionMagic {
+		return Session{}, fmt.Errorf("%w: bad session magic 0x%02X", ErrCorrupt, buf[0])
+	}
+	kind := SessionKind(buf[1])
+	rest := buf[2:]
+	version, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return Session{}, fmt.Errorf("%w: session version", ErrCorrupt)
+	}
+	rest = rest[n:]
+	switch kind {
+	case KindHello:
+		tenant, rest, err := readBytes(rest, maxTenantLen, "tenant")
+		if err != nil {
+			return Session{}, err
+		}
+		spec, rest, err := readBytes(rest, maxSpecLen, "spec")
+		if err != nil {
+			return Session{}, err
+		}
+		if len(rest) != 0 {
+			return Session{}, fmt.Errorf("%w: trailing bytes after hello", ErrCorrupt)
+		}
+		return Session{Hello: &Hello{Version: version, Tenant: string(tenant), Spec: append([]byte(nil), spec...)}}, nil
+	case KindAccept:
+		tenant, rest, err := readBytes(rest, maxTenantLen, "tenant")
+		if err != nil {
+			return Session{}, err
+		}
+		if len(rest) != 0 {
+			return Session{}, fmt.Errorf("%w: trailing bytes after accept", ErrCorrupt)
+		}
+		return Session{Accept: &Accept{Version: version, Tenant: string(tenant)}}, nil
+	case KindReject:
+		code, n := binary.Uvarint(rest)
+		if n <= 0 || code == 0 || code > 255 {
+			return Session{}, fmt.Errorf("%w: reject code", ErrCorrupt)
+		}
+		rest = rest[n:]
+		reason, rest, err := readBytes(rest, maxReasonLen, "reason")
+		if err != nil {
+			return Session{}, err
+		}
+		if len(rest) != 0 {
+			return Session{}, fmt.Errorf("%w: trailing bytes after reject", ErrCorrupt)
+		}
+		return Session{Reject: &Reject{Version: version, Code: RejectCode(code), Reason: string(reason)}}, nil
+	default:
+		return Session{}, fmt.Errorf("%w: unknown session kind %d", ErrCorrupt, kind)
+	}
+}

@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSessionRoundTrip(t *testing.T) {
+	hello := Hello{Version: SessionVersion, Tenant: "garden-a", Spec: []byte{1, 2, 3, 4}}
+	buf, err := EncodeHello(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeSession(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Hello == nil || s.Kind() != KindHello {
+		t.Fatalf("decoded %+v, want hello", s)
+	}
+	if s.Hello.Version != hello.Version || s.Hello.Tenant != hello.Tenant || !bytes.Equal(s.Hello.Spec, hello.Spec) {
+		t.Fatalf("hello round trip: %+v vs %+v", *s.Hello, hello)
+	}
+
+	acc := Accept{Version: SessionVersion, Tenant: "t7"}
+	buf, err = EncodeAccept(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = DecodeSession(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Accept == nil || *s.Accept != acc {
+		t.Fatalf("accept round trip: %+v vs %+v", s, acc)
+	}
+
+	rej := Reject{Version: SessionVersion, Code: RejectSpecMismatch, Reason: "pinned to garden, offered lab"}
+	buf, err = EncodeReject(rej)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = DecodeSession(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Reject == nil || *s.Reject != rej {
+		t.Fatalf("reject round trip: %+v vs %+v", s, rej)
+	}
+}
+
+// TestSessionGoldenBytes pins the session frame encoding: changing it
+// silently would strand every deployed source against a new sink.
+func TestSessionGoldenBytes(t *testing.T) {
+	buf, err := EncodeHello(Hello{Version: 1, Tenant: "ab", Spec: []byte{0xAA, 0xBB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0xC5,     // session magic
+		0x00,     // kind = hello
+		0x01,     // version 1
+		0x02,     // tenant length
+		'a', 'b', // tenant
+		0x02,       // spec length
+		0xAA, 0xBB, // spec
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("hello format changed:\n got  %#v\n want %#v", buf, want)
+	}
+
+	buf, err = EncodeReject(Reject{Version: 1, Code: RejectVersion, Reason: "no"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []byte{0xC5, 0x02, 0x01, 0x01, 0x02, 'n', 'o'}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("reject format changed:\n got  %#v\n want %#v", buf, want)
+	}
+}
+
+// TestDecodeSessionStalePeer: a peer that opens with a pre-session report
+// frame must surface as a version mismatch naming v0 — operators need to
+// tell a stale binary from corruption.
+func TestDecodeSessionStalePeer(t *testing.T) {
+	frame, err := Encode(Frame{Step: 1, Attrs: []int{0}, Values: []float64{1}}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DecodeSession(frame)
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("stale peer surfaced as %v, want ErrVersionMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "v0") || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("error %q does not name the stale peer", err)
+	}
+}
+
+func TestDecodeSessionCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"short":          {SessionMagic},
+		"bad magic":      {0x00, 0x00, 0x01},
+		"unknown kind":   {SessionMagic, 0x09, 0x01},
+		"tenant too big": {SessionMagic, 0x00, 0x01, 0xFF, 0x7F},
+		"truncated spec": {SessionMagic, 0x00, 0x01, 0x00, 0x05, 0x01},
+		"trailing":       {SessionMagic, 0x01, 0x01, 0x00, 0xEE},
+		"zero code":      {SessionMagic, 0x02, 0x01, 0x00, 0x00},
+	}
+	for name, buf := range cases {
+		if _, err := DecodeSession(buf); err == nil {
+			t.Errorf("%s: decoded garbage %#v", name, buf)
+		} else if errors.Is(err, ErrVersionMismatch) {
+			t.Errorf("%s: corrupt frame misreported as version mismatch: %v", name, err)
+		}
+	}
+}
+
+// TestRejectErrTyping: reject codes map onto the two typed errors so
+// clients can branch with errors.Is.
+func TestRejectErrTyping(t *testing.T) {
+	err := Reject{Code: RejectVersion, Reason: "sink v1, source v9"}.Err()
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("version reject: %v", err)
+	}
+	if errors.Is(err, ErrSpecRejected) {
+		t.Fatalf("version reject must not also be a spec rejection: %v", err)
+	}
+	for _, code := range []RejectCode{RejectBadSpec, RejectSpecMismatch, RejectOverloaded, RejectDuplicateTenant, RejectSlowTenant} {
+		err := Reject{Code: code, Reason: "r"}.Err()
+		if !errors.Is(err, ErrSpecRejected) {
+			t.Fatalf("%v reject: %v", code, err)
+		}
+		if !strings.Contains(err.Error(), code.String()) {
+			t.Fatalf("%v reject does not name its code: %v", code, err)
+		}
+	}
+}
+
+func TestSessionEncodeLimits(t *testing.T) {
+	if _, err := EncodeHello(Hello{Tenant: strings.Repeat("x", maxTenantLen+1)}); err == nil {
+		t.Fatal("oversized tenant encoded")
+	}
+	if _, err := EncodeHello(Hello{Spec: make([]byte, maxSpecLen+1)}); err == nil {
+		t.Fatal("oversized spec encoded")
+	}
+	// Oversized reasons are truncated, not failed: the reject path must
+	// always be sendable.
+	buf, err := EncodeReject(Reject{Code: RejectBadSpec, Reason: strings.Repeat("r", maxReasonLen+100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeSession(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Reject.Reason) != maxReasonLen {
+		t.Fatalf("reason length %d, want truncation to %d", len(s.Reject.Reason), maxReasonLen)
+	}
+}
