@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint fmt-check test race cover bench bench-smoke bench-baseline audit-smoke faults-smoke sinkd-smoke figures examples fuzz clean
+.PHONY: all check build vet lint fmt-check test race alloc-check cover bench bench-smoke bench-baseline audit-smoke faults-smoke sinkd-smoke figures examples fuzz clean
 
 all: build test
 
 # check is the pre-commit gate: formatting, static analysis (vet + the
-# kenlint invariant analyzers), the test suite and the race detector in
-# one go.
-check: fmt-check vet lint test race
+# kenlint invariant analyzers) and the race detector in one go. The race
+# run IS the test suite (same tests, more checking), so a plain `go test`
+# pass would only repeat it without the detector.
+check: fmt-check vet lint race
 
 build:
 	$(GO) build ./...
@@ -19,7 +20,8 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the custom go/analysis suite (cmd/kenlint): determinism,
-# seeding, wire-error, float-comparison and observability invariants.
+# seeding, wire-error, float-comparison, observability, hot-path
+# allocation and concurrency-discipline invariants.
 # See docs/LINT.md. Ordered after vet in check so the `go vet` build pass
 # has already warmed the build cache kenlint's `go run` compiles from —
 # the two analyses share one compilation of the tree.
@@ -35,6 +37,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# alloc-check pins the hot-path allocation budgets (TestAllocBudget* —
+# zero allocs per steady-state epoch; see docs/LINT.md). Run without
+# -race: the budget tests skip themselves under race instrumentation,
+# whose shadow allocations would drown the counts.
+alloc-check:
+	$(GO) test -run TestAllocBudget ./...
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -1,0 +1,7 @@
+// Package alloctest supports the hot-path allocation budget tests
+// (TestAllocBudget* across the tree, run by `make alloc-check`). Its one
+// export, RaceEnabled, tells a budget test whether the race detector is
+// compiled in: race instrumentation allocates behind the scenes, making
+// testing.AllocsPerRun counts meaningless, so budget tests skip themselves
+// under -race and the race suite (`make race`) stays green.
+package alloctest

@@ -192,7 +192,9 @@ func Run(ctx context.Context, s Scheme, test [][]float64, opts RunOptions) (*Res
 		res.WireBytes += st.Bytes
 		res.PerStepReported = append(res.PerStepReported, st.ValuesReported)
 		res.ReportedAttrs = append(res.ReportedAttrs, st.Reported)
-		res.Estimates = append(res.Estimates, est)
+		// Schemes may reuse the returned estimate slice across steps (Ken
+		// does); retaining it requires a copy.
+		res.Estimates = append(res.Estimates, append([]float64(nil), est...))
 		stepViolations := 0
 		for i := range truth {
 			d := math.Abs(est[i] - truth[i])

@@ -73,6 +73,14 @@ type kenClique struct {
 	sink    model.Model
 	eps     []float64 // clique-local bounds
 	intra   float64   // per-step collection cost at the root
+
+	// srcW/sinkW are the models' allocation-free mean writers, nil when a
+	// model family does not provide one; local and meanBuf are per-clique
+	// step scratch, reused across epochs.
+	srcW    model.MeanWriter
+	sinkW   model.MeanWriter
+	local   []float64
+	meanBuf []float64
 }
 
 // Ken is the paper's architecture: replicated dynamic probabilistic models
@@ -87,6 +95,7 @@ type Ken struct {
 	exhaustive bool
 	prob       *ProbConfig
 	rng        *rand.Rand
+	estBuf     []float64 // Step's returned estimate vector, reused across epochs
 
 	// Observability handles, resolved once in NewKen; all nil (and
 	// therefore no-ops) when KenConfig.Obs is unset.
@@ -182,15 +191,24 @@ func NewKen(cfg KenConfig) (*Ken, error) {
 				intra += cfg.Topology.Comm(g, c.Root)
 			}
 		}
+		src := mdl.Clone()
+		sink := mdl.Clone()
+		srcW, _ := src.(model.MeanWriter)
+		sinkW, _ := sink.(model.MeanWriter)
 		k.cliques = append(k.cliques, kenClique{
 			members: append([]int(nil), c.Members...),
 			root:    c.Root,
-			src:     mdl.Clone(),
-			sink:    mdl.Clone(),
+			src:     src,
+			sink:    sink,
 			eps:     eps,
 			intra:   intra,
+			srcW:    srcW,
+			sinkW:   sinkW,
+			local:   make([]float64, len(c.Members)),
+			meanBuf: make([]float64, len(c.Members)),
 		})
 	}
+	k.estBuf = make([]float64, n)
 	return k, nil
 }
 
@@ -224,6 +242,13 @@ func (k *Ken) BeginEpoch(sp *obs.Span) { k.span = sp }
 // Step implements Scheme: for every clique, advance both replicas, let the
 // source choose the minimal report set, deliver it, and read the sink's
 // answer (§3.2).
+//
+// The returned estimate slice is reused across calls — callers that retain
+// it past the next Step must copy (Run does). A fully-suppressed epoch on
+// MeanWriter models with tracing off runs allocation-free; see
+// TestAllocBudgetKenReplay.
+//
+//ken:hotpath the per-epoch replay loop; suppressed epochs allocate nothing
 func (k *Ken) Step(truth []float64) ([]float64, StepStats, error) {
 	if len(truth) != k.n {
 		return nil, StepStats{}, fmt.Errorf("core: truth dim %d, want %d", len(truth), k.n)
@@ -232,11 +257,11 @@ func (k *Ken) Step(truth []float64) ([]float64, StepStats, error) {
 	if k.stepObserved {
 		start = time.Now()
 	}
-	est := make([]float64, k.n)
+	est := k.estBuf
 	var st StepStats
 	for ci := range k.cliques {
 		c := &k.cliques[ci]
-		local := make([]float64, len(c.members))
+		local := c.local
 		for i, g := range c.members {
 			local[i] = truth[g]
 		}
@@ -247,12 +272,26 @@ func (k *Ken) Step(truth []float64) ([]float64, StepStats, error) {
 		// "what the sink would have believed" side of the audit triple.
 		var pred []float64
 		if k.tracer != nil {
+			//lint:ignore hotalloc tracing epochs capture the pre-conditioning prediction; the untraced path never reaches this
 			pred = append([]float64(nil), c.sink.Mean()...)
 		}
 
-		rep, err := k.chooseReport(c, local)
-		if err != nil {
-			return nil, StepStats{}, err
+		// Fast path: when the source prediction already satisfies every
+		// bound, all report policies return the empty set — greedy and
+		// exhaustive accept the empty subset, probabilistic flips no coin
+		// (so the rng stream is untouched) — and the policy search with its
+		// allocations can be skipped. Exhaustive keeps its dimension guard:
+		// oversized cliques must keep failing deterministically.
+		var rep map[int]float64
+		fast := c.srcW != nil && !(k.exhaustive && len(c.members) > 20) &&
+			c.srcW.MeanInto(c.meanBuf) == nil &&
+			model.WithinBounds(c.meanBuf, local, c.eps)
+		if !fast {
+			var err error
+			rep, err = k.chooseReport(c, local)
+			if err != nil {
+				return nil, StepStats{}, err
+			}
 		}
 		if err := c.src.Condition(rep); err != nil {
 			return nil, StepStats{}, err
@@ -263,6 +302,7 @@ func (k *Ken) Step(truth []float64) ([]float64, StepStats, error) {
 
 		st.ValuesReported += len(rep)
 		for i := range rep {
+			//lint:ignore hotalloc report epochs accumulate the reported-attribute list; suppressed epochs never enter this loop
 			st.Reported = append(st.Reported, c.members[i])
 		}
 		st.IntraCost += c.intra
@@ -272,10 +312,17 @@ func (k *Ken) Step(truth []float64) ([]float64, StepStats, error) {
 		} else {
 			st.SinkCost += float64(len(rep)) * k.top.CommToBase(c.root)
 		}
+		//lint:ignore hotalloc counter increments are allocation-free; the allocating trace branch inside is guarded by tracer == nil
 		k.observeClique(ci, c, rep, rep, pred)
-		mean := c.sink.Mean()
-		for i, g := range c.members {
-			est[g] = mean[i]
+		if c.sinkW != nil && c.sinkW.MeanInto(c.meanBuf) == nil {
+			for i, g := range c.members {
+				est[g] = c.meanBuf[i]
+			}
+		} else {
+			mean := c.sink.Mean()
+			for i, g := range c.members {
+				est[g] = mean[i]
+			}
 		}
 	}
 	k.stepN++

@@ -1,0 +1,26 @@
+package engine
+
+import (
+	"testing"
+
+	"ken/internal/alloctest"
+)
+
+// TestAllocBudgetCellSeed pins the per-cell seed derivation at zero heap
+// allocations: the FNV-64a hash runs inline over the label bytes, with no
+// hash.Hash construction or string-to-byte conversions.
+func TestAllocBudgetCellSeed(t *testing.T) {
+	if alloctest.RaceEnabled {
+		t.Skip("alloc budgets are not meaningful under -race")
+	}
+	labels := []string{"scheme", "cfg3", "window7"}
+	var sink int64
+	if got := testing.AllocsPerRun(100, func() {
+		sink = CellSeed(42, labels...)
+	}); got != 0 {
+		t.Errorf("CellSeed: %v allocs/op, budget 0", got)
+	}
+	if want := CellSeed(42, "scheme", "cfg3", "window7"); sink != want {
+		t.Fatalf("seed %d, want %d", sink, want)
+	}
+}

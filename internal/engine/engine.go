@@ -211,14 +211,28 @@ func firstError(errs []error) error {
 // CellSeed derives a deterministic per-cell RNG seed from an experiment
 // seed and the cell's identity. Distinct labels decorrelate; the same
 // (base, labels) always yields the same seed, so results do not depend on
-// scheduling or worker count.
+// scheduling or worker count. The FNV-64a hash runs inline over the label
+// bytes — no hash.Hash or []byte conversion allocations — with the same
+// constants and NUL label separator as the hash/fnv implementation it
+// replaces, so historical seeds are unchanged (pinned by the golden test).
+//
+//ken:hotpath inline FNV-64a over label bytes; allocates nothing
 func CellSeed(base int64, labels ...string) int64 {
-	h := fnv.New64a()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
 	for _, l := range labels {
-		h.Write([]byte(l))
-		h.Write([]byte{0})
+		for i := 0; i < len(l); i++ {
+			h ^= uint64(l[i])
+			h *= prime64
+		}
+		// NUL separator byte: XOR with zero is the identity, leaving only
+		// the multiply.
+		h *= prime64
 	}
-	return base ^ int64(h.Sum64())
+	return base ^ int64(h)
 }
 
 // KeyMatrix fingerprints a float64 matrix for use in cache keys. It hashes

@@ -1,0 +1,200 @@
+package gauss
+
+import (
+	"fmt"
+
+	"ken/internal/mat"
+)
+
+// Workspace holds the scratch storage for the in-place Gaussian updates
+// Predict and ObserveExact. One workspace serves one Gaussian of dimension
+// n; it is not safe for concurrent use and must never be shared between
+// model replicas (a shared workspace would let one replica's update read
+// the other's intermediates).
+type Workspace struct {
+	n    int
+	all  []int      // 0..n-1, the full row index set
+	mu   []float64  // n: predicted mean / conditioning adjustment
+	w    []float64  // n: solve right-hand side
+	col  []float64  // n: per-column solve scratch
+	bb   *mat.Dense // m×m observed block Σ_bb
+	s    *mat.Dense // n×m cross block Σ_{·,b}
+	sol  *mat.Dense // m×n solved block Σ_bb⁻¹ Σ_{b,·}
+	cov  *mat.Dense // n×n: A·Σ
+	cov2 *mat.Dense // n×n: A·Σ·Aᵀ
+	corr *mat.Dense // n×n: conditioning correction
+	ch   *mat.Cholesky
+}
+
+// NewWorkspace allocates scratch for Gaussians of dimension n.
+func NewWorkspace(n int) *Workspace {
+	return &Workspace{
+		n:    n,
+		all:  identityIndex(n),
+		mu:   make([]float64, n),
+		w:    make([]float64, n),
+		col:  make([]float64, n),
+		bb:   mat.NewDense(n, n),
+		s:    mat.NewDense(n, n),
+		sol:  mat.NewDense(n, n),
+		cov:  mat.NewDense(n, n),
+		cov2: mat.NewDense(n, n),
+		corr: mat.NewDense(n, n),
+		ch:   mat.NewCholeskyWorkspace(n),
+	}
+}
+
+// MeanInto copies the mean vector into dst without allocating.
+//
+//ken:hotpath copies into the caller's buffer
+func (g *Gaussian) MeanInto(dst []float64) error {
+	if len(dst) != len(g.mean) {
+		return fmt.Errorf("gauss: MeanInto dst len %d, want %d", len(dst), len(g.mean))
+	}
+	copy(dst, g.mean)
+	return nil
+}
+
+// Predict pushes the belief through the linear transition in place:
+// μ ← A·μ, Σ ← A·Σ·Aᵀ + Q. aT must be the transpose of a (precomputed so
+// the hot path does not allocate it). Arithmetic is bit-identical with the
+// allocating sequence MulVec/Mul/Mul/AddMat/Symmetrize followed by New's
+// symmetrisation: Symmetrize is bitwise idempotent, so symmetrising once
+// here equals the old path's two passes.
+//
+//ken:hotpath the predict step runs against the workspace
+func (g *Gaussian) Predict(a, aT, q *mat.Dense, ws *Workspace) error {
+	n := len(g.mean)
+	if ws.n != n {
+		return fmt.Errorf("gauss: workspace dim %d, distribution dim %d", ws.n, n)
+	}
+	if err := a.MulVecInto(ws.mu, g.mean); err != nil {
+		return err
+	}
+	if err := ws.cov.MulInto(a, g.cov); err != nil {
+		return err
+	}
+	if err := ws.cov2.MulInto(ws.cov, aT); err != nil {
+		return err
+	}
+	if err := g.cov.AddInto(ws.cov2, q); err != nil {
+		return err
+	}
+	copy(g.mean, ws.mu)
+	g.cov.Symmetrize()
+	return nil
+}
+
+// ObserveExact collapses the belief on exact observations in place:
+// variable idx[k] is observed at vals[k]. idx must be strictly increasing
+// and in range — the sorted-key form of Condition's map argument. The
+// observed variables become exact (zero variance); the kept block takes
+// the conditional mean and covariance.
+//
+// The update is bit-identical with Condition followed by re-embedding the
+// conditional into the full dimension (the sequence LinearGaussian used to
+// run): identical submatrix extraction order, identical Cholesky with the
+// same jitter ladder, identical solve and correction arithmetic, one
+// Symmetrize on the embedded result. A non-PD observed block leaves the
+// distribution unmodified, as before.
+//
+//ken:hotpath conditioning runs against the workspace
+func (g *Gaussian) ObserveExact(idx []int, vals []float64, ws *Workspace) error {
+	n := len(g.mean)
+	if ws.n != n {
+		return fmt.Errorf("gauss: workspace dim %d, distribution dim %d", ws.n, n)
+	}
+	m := len(idx)
+	if len(vals) != m {
+		return fmt.Errorf("gauss: ObserveExact has %d indices, %d values", m, len(vals))
+	}
+	prev := -1
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			return fmt.Errorf("gauss: condition index %d out of range %d", i, n)
+		}
+		if i <= prev {
+			return fmt.Errorf("gauss: ObserveExact indices not strictly increasing at %d", i)
+		}
+		prev = i
+	}
+	if m == 0 {
+		return nil
+	}
+	if m == n {
+		// Every variable observed: the posterior is a point mass. No
+		// factorisation — Condition's (nil, nil, nil) case never built one,
+		// so heartbeat-style full observations work on singular covariances.
+		copy(g.mean, vals)
+		g.cov.ReuseAs(n, n)
+		return nil
+	}
+
+	// Factorise Σ_bb before mutating anything: a non-PD observed block must
+	// leave the distribution untouched.
+	if err := ws.bb.SubmatrixInto(g.cov, idx, idx); err != nil {
+		return err
+	}
+	if err := ws.ch.Factorize(ws.bb); err != nil {
+		return fmt.Errorf("gauss: observed block not PD: %w", err)
+	}
+
+	// w = Σ_bb⁻¹ (x_b − μ_b)
+	w := ws.w[:m]
+	for k, i := range idx {
+		w[k] = vals[k] - g.mean[i]
+	}
+	if err := ws.ch.SolveVecInPlace(w); err != nil {
+		return err
+	}
+
+	// s = Σ_{·,b} over all n rows. Kept rows are Σ_ab; observed rows feed
+	// adjustments that are overwritten by the exact values below, so
+	// computing the full column block at once is safe.
+	if err := ws.s.SubmatrixInto(g.cov, ws.all, idx); err != nil {
+		return err
+	}
+	adj := ws.mu
+	if err := ws.s.MulVecInto(adj, w); err != nil {
+		return err
+	}
+	for i := range g.mean {
+		g.mean[i] += adj[i]
+	}
+	for k, i := range idx {
+		g.mean[i] = vals[k]
+	}
+
+	// sol = Σ_bb⁻¹ Σ_{b,·} column by column. Each column's solve is
+	// independent, so the kept columns match Cholesky.Solve against Σ_baᵀ.
+	ws.sol.ReuseAs(m, n)
+	col := ws.col[:m]
+	for j := 0; j < n; j++ {
+		for k := 0; k < m; k++ {
+			col[k] = ws.s.At(j, k)
+		}
+		if err := ws.ch.SolveVecInPlace(col); err != nil {
+			return err
+		}
+		for k := 0; k < m; k++ {
+			ws.sol.Set(k, j, col[k])
+		}
+	}
+	// corr = Σ_{·,b} Σ_bb⁻¹ Σ_{b,·}; accumulate fully, subtract once —
+	// incremental subtraction would reorder the floating-point sums.
+	if err := ws.corr.MulInto(ws.s, ws.sol); err != nil {
+		return err
+	}
+	if err := g.cov.SubInPlace(ws.corr); err != nil {
+		return err
+	}
+	// Observed variables are exact: zero their rows and columns.
+	for _, i := range idx {
+		for j := 0; j < n; j++ {
+			g.cov.Set(i, j, 0)
+			g.cov.Set(j, i, 0)
+		}
+	}
+	g.cov.Symmetrize()
+	return nil
+}

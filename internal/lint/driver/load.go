@@ -3,12 +3,14 @@ package driver
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -224,6 +226,12 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		if strings.HasSuffix(name, "_test") && strings.HasSuffix(n, "_test.go") {
 			continue
 		}
+		// Files excluded by a //go:build constraint (e.g. the race-tagged
+		// half of a constant pair) would redeclare symbols if both halves
+		// type-checked together; keep only the default-context half.
+		if !buildConstraintSatisfied(f) {
+			continue
+		}
 		if pkgName == "" {
 			pkgName = name
 		}
@@ -272,6 +280,35 @@ func (l *Loader) importPathFor(dir string) string {
 		return l.modulePath
 	}
 	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// buildConstraintSatisfied reports whether the file's //go:build
+// constraint (if any) holds in the default build context. Only the host
+// GOOS/GOARCH, the gc compiler and release tags satisfy; custom tags like
+// "race" or "integration" do not, so of a tag-split constant pair exactly
+// the default half is loaded.
+func buildConstraintSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(defaultBuildTag)
+		}
+	}
+	return true
+}
+
+func defaultBuildTag(tag string) bool {
+	return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+		strings.HasPrefix(tag, "go1")
 }
 
 // scopePath derives the path analyzers scope against.

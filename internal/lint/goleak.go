@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ken/internal/lint/driver"
+)
+
+// GoLeak patrols the packages that own long-lived goroutines: every go
+// statement must show, at the spawn site, how the goroutine is joined or
+// stopped. A goroutine with no context, WaitGroup, or done/stop channel
+// tying it to the enclosing scope cannot be waited for on shutdown — it is
+// an unjoinable leak (the class of bug docs/LINT.md's goleak section
+// catalogues, and the sinkd shutdown-under-load test exercises).
+var GoLeak = &driver.Analyzer{
+	Name: "goleak",
+	Doc: "every go statement in internal/sinkd, internal/engine, internal/simnet and " +
+		"internal/obs must have a visible lifecycle: the goroutine body or callee " +
+		"receives a context.Context, *sync.WaitGroup, or a done/stop channel from the " +
+		"enclosing scope (a method receiver carrying one of those in a field also " +
+		"counts); otherwise shutdown cannot join it",
+	Scope: driver.ScopeIn("internal/sinkd", "internal/engine", "internal/simnet", "internal/obs"),
+	Run:   runGoLeak,
+}
+
+func runGoLeak(pass *driver.Pass) error {
+	info := pass.Pkg.Info
+	pass.Inspect(func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if !hasLifecycle(info, g.Call) {
+			pass.Reportf(g.Pos(),
+				"goroutine has no visible lifecycle: no context.Context, *sync.WaitGroup, or "+
+					"done/stop channel ties it to the enclosing scope, so shutdown cannot join it")
+		}
+		return true
+	})
+	return nil
+}
+
+// hasLifecycle reports whether the spawned call is visibly joinable: a
+// lifecycle-typed argument, a function-literal body that mentions a
+// lifecycle-typed variable (captured channel, WaitGroup, context — or one
+// reached through a field), or a method whose receiver type carries a
+// lifecycle field.
+func hasLifecycle(info *types.Info, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if isLifecycleType(info.TypeOf(a)) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		found := false
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			if v, ok := obj.(*types.Var); ok && isLifecycleType(v.Type()) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	case *ast.SelectorExpr:
+		if recv := info.TypeOf(fun.X); typeCarriesLifecycle(recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// isLifecycleType reports whether t is a joinability witness: any channel,
+// context.Context, or sync.WaitGroup (by value or pointer).
+func isLifecycleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch path, name := named.Obj().Pkg().Path(), named.Obj().Name(); {
+	case path == "context" && name == "Context":
+		return true
+	case path == "sync" && name == "WaitGroup":
+		return true
+	}
+	return false
+}
+
+// typeCarriesLifecycle reports whether t (after deref) is a struct with a
+// direct lifecycle-typed field — the "go d.handleConn(conn)" shape, where
+// the daemon's own WaitGroup is the join point.
+func typeCarriesLifecycle(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isLifecycleType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,439 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"ken/internal/lint/driver"
+)
+
+// hotpathDirective marks a function as part of the serving hot path: the
+// per-epoch conditioning loop and the daemon's frame-apply path, where the
+// steady state must not touch the allocator (ROADMAP open item "zero-alloc
+// epoch loop"). The directive sits in the function's doc comment.
+const hotpathDirective = "//ken:hotpath"
+
+// HotAlloc enforces the zero-alloc discipline on functions annotated
+// //ken:hotpath. docs/LINT.md describes the construct classes, the
+// error-path exemption, and the alloc-budget tests that back the analyzer
+// up at runtime (TestAllocBudget*).
+var HotAlloc = &driver.Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated //ken:hotpath (and the module functions they directly call) " +
+		"may not contain heap-allocating constructs: make/new, slice/map/&composite " +
+		"literals, append without preallocated-capacity evidence (3-arg make or x[:0] " +
+		"reslice), string concatenation or string<->[]byte conversion, fmt calls, " +
+		"closures capturing variables, or implicit boxing into interfaces. Branches " +
+		"that end by returning a non-nil error (or panicking) are exempt: error paths " +
+		"are cold. Escape with //lint:ignore hotalloc <reason>",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *driver.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHotpath reports whether the declaration's doc comment carries the
+// //ken:hotpath directive.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc reports every allocating construct in fd's body, then
+// inspects each direct module callee one level deep: an un-annotated
+// callee that allocates is reported at the call site (so the suppression,
+// if any, stays next to the hot loop), while an annotated callee is
+// trusted — it is checked where it is defined.
+func checkHotFunc(pass *driver.Pass, fd *ast.FuncDecl) {
+	pkg := pass.Pkg
+	cold := coldRanges(pkg.Info, fd)
+	for _, f := range allocFindings(pkg, fd, cold) {
+		pass.Reportf(f.pos, "%s in a //ken:hotpath function", f.msg)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // the literal itself is handled by allocFindings
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if cold.contains(call.Pos()) {
+			return true
+		}
+		fn := callee(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		dep, ok := pass.Program[fn.Pkg().Path()]
+		if !ok {
+			return true // body not loaded (stdlib, outside the run)
+		}
+		decl := findFuncDecl(dep, fn)
+		if decl == nil || decl.Body == nil || isHotpath(decl) {
+			return true // interface method, or annotated and checked at its definition
+		}
+		sub := allocFindings(dep, decl, coldRanges(dep.Info, decl))
+		if len(sub) > 0 {
+			p := dep.Fset.Position(sub[0].pos)
+			pass.Reportf(call.Pos(),
+				"hot path calls %s, which allocates (%s at %s:%d); annotate it //ken:hotpath and fix it, or keep this call off the steady-state path",
+				fn.Name(), sub[0].what, filepath.Base(p.Filename), p.Line)
+		}
+		return true
+	})
+}
+
+// findFuncDecl locates the declaration of fn inside dep. The loader
+// memoizes packages, so the *types.Func seen through a caller's Uses map
+// is the same object the defining package recorded in Defs.
+func findFuncDecl(dep *driver.Package, fn *types.Func) *ast.FuncDecl {
+	for _, f := range dep.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && dep.Info.Defs[fd.Name] == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// posRanges is a set of source intervals (cold error-path blocks).
+type posRanges []posRange
+
+type posRange struct{ from, to token.Pos }
+
+func (rs posRanges) contains(p token.Pos) bool {
+	for _, r := range rs {
+		if r.from <= p && p < r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// coldRanges collects the nested blocks that end by returning a non-nil
+// error or panicking. Allocations there — wrapped errors, diagnostics —
+// happen at most once per failure, not per epoch, so they are exempt. The
+// function's own top-level body never counts as cold, even when the final
+// return carries an error.
+func coldRanges(info *types.Info, fd *ast.FuncDecl) posRanges {
+	var out posRanges
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BlockStmt)
+		if !ok || b == fd.Body || len(b.List) == 0 {
+			return true
+		}
+		if coldExit(info, b.List[len(b.List)-1]) {
+			out = append(out, posRange{b.Pos(), b.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// coldExit reports whether st leaves the function on a failure path: a
+// return whose results include a non-nil error-typed expression, or a
+// panic.
+func coldExit(info *types.Info, st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			if t := info.TypeOf(r); t != nil && isErrorType(t) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// errorIface is the universe error interface, for Implements checks.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() == nil && obj.Name() == "error" {
+			return true
+		}
+	}
+	return types.Implements(t, errorIface)
+}
+
+// allocFinding is one allocating construct: what is the short class name
+// used when reporting at a caller's call site, msg the full sentence.
+type allocFinding struct {
+	pos  token.Pos
+	what string
+	msg  string
+}
+
+// allocFindings walks fd's body for heap-allocating constructs, skipping
+// the cold ranges. Function-literal interiors are not descended into — the
+// literal itself is reported when it captures (its environment allocates),
+// and a non-capturing literal is a static funcval.
+func allocFindings(pkg *driver.Package, fd *ast.FuncDecl, cold posRanges) []allocFinding {
+	info := pkg.Info
+	evidence := collectCapEvidence(info, fd)
+	var out []allocFinding
+	add := func(pos token.Pos, what, format string, args ...any) {
+		if cold.contains(pos) {
+			return
+		}
+		out = append(out, allocFinding{pos: pos, what: what, msg: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if name := capturedVar(info, fd, n); name != "" {
+				add(n.Pos(), "closure capture",
+					"closure captures %q, heap-allocating its environment", name)
+			}
+			return false
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				add(n.Pos(), "slice literal", "slice literal allocates its backing array")
+			case *types.Map:
+				add(n.Pos(), "map literal", "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					add(n.Pos(), "&composite literal", "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n.X)) {
+				add(n.Pos(), "string concat", "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				add(n.Pos(), "string concat", "string += allocates")
+			}
+		case *ast.CallExpr:
+			checkHotCall(info, n, evidence, add)
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotCall classifies one call: allocating builtins, allocating
+// conversions, fmt, and implicit interface boxing of arguments.
+func checkHotCall(info *types.Info, call *ast.CallExpr, evidence capEvidence,
+	add func(token.Pos, string, string, ...any)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				add(call.Pos(), "make", "make allocates; hoist the buffer into a reused scratch arena")
+			case "new":
+				add(call.Pos(), "new", "new allocates; hoist the value into a reused scratch arena")
+			case "append":
+				if len(call.Args) > 0 && !evidence.covers(call.Args[0]) {
+					add(call.Pos(), "append growth",
+						"append without preallocated-capacity evidence (3-arg make or x[:0] reslice in this function) may grow its backing array")
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, info.TypeOf(call.Args[0])
+		switch {
+		case isStringType(to) && isByteOrRuneSlice(from), isByteOrRuneSlice(to) && isStringType(from):
+			add(call.Pos(), "string conversion", "string<->[]byte/[]rune conversion copies and allocates")
+		case isInterfaceType(to) && boxes(from):
+			add(call.Pos(), "interface boxing", "conversion of %s into interface %s allocates", from, to)
+		}
+		return
+	}
+	if fn := callee(info, call); fn != nil && fromPkg(fn, "fmt") {
+		add(call.Pos(), "fmt call", "fmt.%s allocates (formatting state and boxed arguments)", fn.Name())
+		return
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				return // f(xs...) passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			return
+		}
+		if at := info.TypeOf(arg); isInterfaceType(pt) && boxes(at) {
+			add(arg.Pos(), "interface boxing",
+				"implicit boxing of %s into %s allocates; pass a pointer or use a concrete API", at, pt)
+		}
+	}
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: pointer-shaped values (pointers, channels, maps, funcs,
+// unsafe pointers) fit the interface word directly, everything else is
+// copied to the heap. Interfaces and nil never re-box.
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return false
+	}
+	return true
+}
+
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// capEvidence records, per function, the expressions (rendered as source
+// text) that were assigned a preallocated capacity: x = make(T, n, c) or
+// x = buf[:0]. An append whose first argument is covered — or is itself a
+// [:0] reslice — reuses that capacity in the steady state.
+type capEvidence map[string]bool
+
+func (ev capEvidence) covers(appendee ast.Expr) bool {
+	appendee = ast.Unparen(appendee)
+	if sl, ok := appendee.(*ast.SliceExpr); ok && isZeroLiteral(sl.High) {
+		return true
+	}
+	return ev[types.ExprString(appendee)]
+}
+
+func collectCapEvidence(info *types.Info, fd *ast.FuncDecl) capEvidence {
+	ev := capEvidence{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if isEvidenceExpr(info, as.Rhs[i]) {
+				ev[types.ExprString(lhs)] = true
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+func isEvidenceExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "make" && len(e.Args) == 3
+	case *ast.SliceExpr:
+		return isZeroLiteral(e.High)
+	}
+	return false
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// capturedVar returns the name of a variable the literal captures from the
+// enclosing function (parameters and locals of fd used inside lit but
+// declared outside it), or "" when the literal is capture-free.
+// Package-level objects are not captures — they need no environment.
+func capturedVar(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || !v.Pos().IsValid() {
+			return true
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			name = v.Name()
+		}
+		return name == ""
+	})
+	return name
+}

@@ -25,6 +25,9 @@ func Analyzers() []*driver.Analyzer {
 		FloatEq,
 		ObsHandle,
 		TraceSink,
+		HotAlloc,
+		GoLeak,
+		LockSafe,
 	}
 }
 

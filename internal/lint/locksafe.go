@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ken/internal/lint/driver"
+)
+
+// LockSafe flags the two mutex mistakes that turn a fast critical section
+// into a stall or a deadlock: holding a sync.Mutex/RWMutex across a
+// blocking operation (channel send/receive/select, network or file I/O),
+// and a Lock whose matching Unlock is not reachable on every return path.
+// The analysis is per statement list — a Lock is matched with the next
+// same-receiver Unlock in its block, or with an immediately following
+// defer.
+var LockSafe = &driver.Analyzer{
+	Name: "locksafe",
+	Doc: "flags a held sync.Mutex/RWMutex across a channel send/receive/select or a " +
+		"network/file I/O call (net, os, io, bufio, net/http, time.Sleep), and a Lock " +
+		"whose Unlock is not reachable on every return path; deliberate I/O-under-lock " +
+		"serialization escapes with //lint:ignore locksafe <reason>",
+	Run: runLockSafe,
+}
+
+func runLockSafe(pass *driver.Pass) error {
+	info := pass.Pkg.Info
+	// Every function body — declarations and literals — is analyzed on its
+	// own: a nested literal's statements run on the literal's schedule, not
+	// the enclosing function's, so its locks pair within the literal.
+	var bodies []*ast.BlockStmt
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, n.Body)
+		}
+		return true
+	})
+	for _, body := range bodies {
+		b := body
+		ast.Inspect(b, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != b {
+				return false
+			}
+			if blk, ok := n.(*ast.BlockStmt); ok {
+				checkLockList(pass, info, blk.List, b)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockCall decomposes mu.Lock()/mu.RLock() on a sync mutex into its
+// receiver source text and lock kind. ok is false for anything else.
+func lockCall(info *types.Info, st ast.Stmt) (recv string, rlock bool, ok bool) {
+	es, isExpr := st.(*ast.ExprStmt)
+	if !isExpr {
+		return "", false, false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return "", false, false
+	}
+	if !isSyncMutex(info.TypeOf(sel.X)) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name == "RLock", true
+}
+
+// unlockMatches reports whether st is the Unlock/RUnlock pairing the given
+// lock — either a direct call statement or, when deferOK, a defer of one.
+func unlockMatches(st ast.Stmt, recv string, rlock, deferOK bool) bool {
+	var call *ast.CallExpr
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		if !deferOK {
+			return false
+		}
+		call = s.Call
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	want := "Unlock"
+	if rlock {
+		want = "RUnlock"
+	}
+	return sel.Sel.Name == want && types.ExprString(sel.X) == recv
+}
+
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// checkLockList scans one statement list for Lock statements and checks
+// the region each one guards. A Lock immediately followed by its deferred
+// Unlock guards the rest of the enclosing function body; otherwise the
+// region runs to the next matching Unlock in this list (returns inside it
+// must unlock first), or to the end of the list.
+func checkLockList(pass *driver.Pass, info *types.Info, list []ast.Stmt, funcBody *ast.BlockStmt) {
+	for i, st := range list {
+		recv, rlock, ok := lockCall(info, st)
+		if !ok {
+			continue
+		}
+		if i+1 < len(list) && unlockMatches(list[i+1], recv, rlock, true) {
+			if _, isDefer := list[i+1].(*ast.DeferStmt); isDefer {
+				// Held until the function returns: every later statement of
+				// the function body is inside the critical section.
+				reportBlockingOps(pass, info, stmtsAfter(funcBody, list[i+1]), recv)
+				continue
+			}
+			continue // lock; unlock — empty critical section
+		}
+		var region []ast.Stmt
+		closed := false
+		for _, rest := range list[i+1:] {
+			if unlockMatches(rest, recv, rlock, false) {
+				closed = true
+				break
+			}
+			region = append(region, rest)
+		}
+		reportBlockingOps(pass, info, region, recv)
+		reportLockedReturns(pass, region, recv, rlock)
+		if !closed && !unlocksSomewhere(region, recv, rlock) {
+			pass.Reportf(st.Pos(), "%s.Lock with no matching Unlock on this path", recv)
+		}
+	}
+}
+
+// stmtsAfter returns every statement of body that starts after marker —
+// the region a deferred Unlock leaves guarded.
+func stmtsAfter(body *ast.BlockStmt, marker ast.Stmt) []ast.Stmt {
+	var all []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body {
+				return false
+			}
+		case *ast.BlockStmt:
+			for _, st := range n.List {
+				if st.Pos() > marker.End() {
+					all = append(all, st)
+				}
+			}
+		}
+		return true
+	})
+	// Keep only the outermost statements: nested ones are reached through
+	// their parents when the region is inspected, and keeping both would
+	// double-report.
+	var out []ast.Stmt
+	for _, st := range all {
+		nested := false
+		for _, other := range all {
+			if other != st && other.Pos() <= st.Pos() && st.End() <= other.End() {
+				nested = true
+				break
+			}
+		}
+		if !nested {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// unlocksSomewhere reports whether any statement nested in the region
+// unlocks recv — branch-local unlock+return patterns.
+func unlocksSomewhere(region []ast.Stmt, recv string, rlock bool) bool {
+	for _, st := range region {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			if es, ok := n.(*ast.ExprStmt); ok && unlockMatches(es, recv, rlock, false) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// reportLockedReturns flags every return inside the region that is not
+// preceded, in its innermost block, by an Unlock of recv.
+func reportLockedReturns(pass *driver.Pass, region []ast.Stmt, recv string, rlock bool) {
+	check := func(list []ast.Stmt) {
+		unlocked := false
+		for _, st := range list {
+			if unlockMatches(st, recv, rlock, true) {
+				unlocked = true
+			}
+			if ret, ok := st.(*ast.ReturnStmt); ok && !unlocked {
+				pass.Reportf(ret.Pos(),
+					"return with %s held; Unlock is not reachable on this path", recv)
+			}
+		}
+	}
+	check(region)
+	for _, st := range region {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				check(n.List)
+			case *ast.FuncLit:
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// blockingPkgs are the stdlib packages whose calls can block on the
+// network or the filesystem.
+var blockingPkgs = []string{"net", "os", "io", "bufio", "net/http"}
+
+// reportBlockingOps flags channel operations and I/O calls inside the
+// guarded region. Statement lists are processed in order and stop at an
+// Unlock of recv (of either kind) — a branch that unlocks before its
+// blocking op is lock-free from there on. Function-literal interiors run
+// later, outside the critical section, and are skipped.
+func reportBlockingOps(pass *driver.Pass, info *types.Info, region []ast.Stmt, recv string) {
+	var reportList func(list []ast.Stmt)
+	var inspectStmt func(st ast.Stmt)
+	reportList = func(list []ast.Stmt) {
+		for _, st := range list {
+			if unlockMatches(st, recv, false, true) || unlockMatches(st, recv, true, true) {
+				return
+			}
+			inspectStmt(st)
+		}
+	}
+	inspectStmt = func(st ast.Stmt) {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.BlockStmt:
+				reportList(n.List)
+				return false
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send while %s is held", recv)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive while %s is held", recv)
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select while %s is held", recv)
+				return false // the comm clauses are the select; one report
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(), "range over channel while %s is held", recv)
+					}
+				}
+			case *ast.CallExpr:
+				fn := callee(info, n)
+				if fn == nil {
+					return true
+				}
+				for _, p := range blockingPkgs {
+					if funcPkgPath(fn) == p {
+						pass.Reportf(n.Pos(),
+							"%s.%s (network/file I/O) called while %s is held", p, fn.Name(), recv)
+						return true
+					}
+				}
+				if fromPkg(fn, "time") && fn.Name() == "Sleep" {
+					pass.Reportf(n.Pos(), "time.Sleep while %s is held", recv)
+				}
+			}
+			return true
+		})
+	}
+	reportList(region)
+}

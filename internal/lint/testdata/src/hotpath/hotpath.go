@@ -1,0 +1,140 @@
+// Package hotpath is the hotalloc fixture: each function exercises one
+// allocating-construct class on an annotated hot function, plus the
+// exemptions — capacity-evidenced appends, cold error branches, annotated
+// (trusted) callees, and a reasoned suppression.
+package hotpath
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type pair struct{ x, y float64 }
+
+// allocs hits the explicit-allocation classes.
+//
+//ken:hotpath
+func allocs(n int) {
+	a := make([]float64, n) // want "make allocates"
+	b := new(float64)       // want "new allocates"
+	c := []int{1, 2, 3}     // want "slice literal allocates"
+	m := map[string]int{}   // want "map literal allocates"
+	p := &point{1, 2}       // want "&composite literal escapes to the heap"
+	_, _, _, _, _ = a, b, c, m, p
+}
+
+// appendGrows has no capacity evidence for dst.
+//
+//ken:hotpath
+func appendGrows(dst, xs []float64) []float64 {
+	for _, x := range xs {
+		dst = append(dst, x) // want "append without preallocated-capacity evidence"
+	}
+	return dst
+}
+
+// appendWithCap reuses dst's backing array: the [:0] reslice is the
+// evidence.
+//
+//ken:hotpath
+func appendWithCap(dst, xs []float64) []float64 {
+	dst = dst[:0]
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// strAllocs hits the string classes.
+//
+//ken:hotpath
+func strAllocs(a, b string, n int) string {
+	s := a + b                        // want "string concatenation allocates"
+	s += a                            // want `string \+= allocates`
+	return fmt.Sprintf("%s-%d", s, n) // want `fmt\.Sprintf allocates`
+}
+
+func sink(v any) { _ = v }
+
+// boxing hits conversions and implicit interface boxing.
+//
+//ken:hotpath
+func boxing(p pair, bs []byte) {
+	sink(p)        // want "implicit boxing of"
+	sink(&p)       // pointers fit the interface word: no boxing
+	_ = string(bs) // want "conversion copies and allocates"
+	_ = any(p)     // want "conversion of .* into interface"
+}
+
+// closures: a capturing literal allocates its environment, a capture-free
+// one is a static funcval.
+//
+//ken:hotpath
+func closures(xs []float64) float64 {
+	total := 0.0
+	bump := func() { total++ } // want "closure captures"
+	bump()
+	double := func(x float64) float64 { return x * 2 }
+	return double(total)
+}
+
+// coldPath allocates only on the error branch, which is exempt: failures
+// happen once, not once per epoch.
+//
+//ken:hotpath
+func coldPath(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("empty input (%d values)", len(xs))
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s, nil
+}
+
+// hotCaller calls an un-annotated same-package helper that allocates: the
+// finding lands at the call site so the fix (or suppression) stays next to
+// the hot loop.
+//
+//ken:hotpath
+func hotCaller(xs []float64) []float64 {
+	return helperAlloc(xs) // want `hot path calls helperAlloc, which allocates \(make at hotpath\.go:\d+\)`
+}
+
+func helperAlloc(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	return out
+}
+
+// hotTrusted calls an annotated callee: trusted here, checked at its own
+// definition.
+//
+//ken:hotpath
+func hotTrusted(xs []float64) float64 {
+	return fastSum(xs)
+}
+
+// fastSum is allocation-free.
+//
+//ken:hotpath
+func fastSum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// reportEpoch demonstrates the escape hatch: report epochs allocate by
+// design, the steady state never reaches this function.
+//
+//ken:hotpath
+func reportEpoch(n int) []int {
+	//lint:ignore hotalloc report epochs allocate by design; the suppressed-epoch fast path never reaches this
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

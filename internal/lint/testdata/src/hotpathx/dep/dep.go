@@ -1,0 +1,11 @@
+// Package dep is the un-annotated callee package of the hotpathx fixture.
+package dep
+
+// Scale returns a scaled copy — allocating, and not annotated //ken:hotpath.
+func Scale(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = 2 * x
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+// Package hotpathx is the cross-package hotalloc fixture: the annotated
+// function calls into a sibling package whose body is only visible through
+// the driver's Program index. TestHotAllocCrossPackage loads both packages
+// through one loader and asserts the call-site diagnostic.
+package hotpathx
+
+import "ken/internal/lint/testdata/src/hotpathx/dep"
+
+// HotCross is the serving loop; dep.Scale allocates a copy per call.
+//
+//ken:hotpath
+func HotCross(xs []float64) []float64 {
+	return dep.Scale(xs)
+}

@@ -1,0 +1,48 @@
+// Package sinkd (fixture) exercises goleak: every go statement needs a
+// visible lifecycle — a context, WaitGroup, or done/stop channel tying the
+// goroutine to the enclosing scope — or it cannot be joined on shutdown.
+package sinkd
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func (s *server) work() {}
+
+func orphanWork() {}
+
+func ctxWork(ctx context.Context) { <-ctx.Done() }
+
+func spawn(s *server, ctx context.Context) {
+	go orphanWork() // want "goroutine has no visible lifecycle"
+	go s.work()     // receiver carries a WaitGroup field
+	go ctxWork(ctx) // context argument
+
+	go func() { // want "goroutine has no visible lifecycle"
+		orphanWork()
+	}()
+
+	done := make(chan struct{})
+	go func() { // done channel from the enclosing scope
+		defer close(done)
+		orphanWork()
+	}()
+	<-done
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // joined through the WaitGroup
+		defer wg.Done()
+		orphanWork()
+	}()
+	wg.Wait()
+
+	//lint:ignore goleak fixture: fire-and-forget telemetry flush, process exit reaps it
+	go orphanWork()
+}

@@ -1,0 +1,102 @@
+// Package locksafe is the locksafe fixture: blocking operations under a
+// held mutex, returns that skip the Unlock, and the patterns the analyzer
+// must accept (unlock-before-return branches, deliberate serialization
+// behind a reasoned suppression).
+package locksafe
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+func (g *guarded) sendHeld() {
+	g.mu.Lock()
+	g.ch <- 1 // want `channel send while g\.mu is held`
+	g.mu.Unlock()
+}
+
+func (g *guarded) recvHeldDeferred() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	<-g.ch // want `channel receive while g\.mu is held`
+}
+
+func (g *guarded) selectHeld(stop chan struct{}) {
+	g.mu.Lock()
+	select { // want `select while g\.mu is held`
+	case <-stop:
+	default:
+	}
+	g.mu.Unlock()
+}
+
+func (g *guarded) ioHeld(f *os.File, buf []byte) {
+	g.mu.Lock()
+	_, _ = f.Read(buf) // want `os\.Read \(network/file I/O\) called while g\.mu is held`
+	g.mu.Unlock()
+}
+
+func (g *guarded) dialHeld() net.Conn {
+	g.rw.RLock()
+	c, _ := net.Dial("tcp", "localhost:0") // want `net\.Dial \(network/file I/O\) called while g\.rw is held`
+	g.rw.RUnlock()
+	return c
+}
+
+func (g *guarded) sleepHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while g\.mu is held`
+}
+
+func (g *guarded) leakyReturn(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		return g.n // want `return with g\.mu held`
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// okReturn unlocks on every path: the branch unlocks before returning.
+func (g *guarded) okReturn(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return g.n
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+func (g *guarded) neverUnlocks() {
+	g.mu.Lock() // want `g\.mu\.Lock with no matching Unlock on this path`
+	g.n++
+}
+
+// journal serializes file writes behind the lock on purpose — the escape
+// hatch carries the reason.
+func (g *guarded) journal(f *os.File, line []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//lint:ignore locksafe fixture: the journal serializes writes behind the lock by design
+	_, _ = f.Write(line)
+}
+
+// quickOps under the lock are fine: map/field access, sync calls.
+func (g *guarded) quickOps() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	return g.n
+}

@@ -22,29 +22,65 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("%w: cholesky of %dx%d", ErrDimension, a.rows, a.cols)
 	}
-	n := a.rows
-	if c, ok := tryCholesky(a, 0); ok {
-		return &Cholesky{n: n, l: c}, nil
+	c := NewCholeskyWorkspace(a.rows)
+	if err := c.Factorize(a); err != nil {
+		return nil, err
 	}
-	// Retry with escalating jitter: covariance matrices assembled from
-	// finite samples are often PSD-but-not-PD.
+	return c, nil
+}
+
+// NewCholeskyWorkspace returns a Cholesky sized to factorise matrices of
+// order up to n via Factorize, reusing one backing array across calls.
+func NewCholeskyWorkspace(n int) *Cholesky {
+	return &Cholesky{n: n, l: NewDense(n, n)}
+}
+
+// choleskyJitter is the escalating diagonal jitter ladder tried when the
+// plain factorisation fails: covariance matrices assembled from finite
+// samples are often PSD-but-not-PD.
+var choleskyJitter = [...]float64{1e-12, 1e-10, 1e-8}
+
+// errNotPD is the terminal Factorize failure; a package-level value so the
+// hot path returns it without allocating.
+var errNotPD = fmt.Errorf("%w: matrix not positive definite", ErrSingular)
+
+// Factorize refactorises c against the symmetric matrix a, reusing c's
+// backing storage; a must fit within the workspace's construction order.
+// The factorisation (jitter ladder included) is bit-identical with
+// NewCholesky's.
+//
+//ken:hotpath refactorises into the preallocated factor
+func (c *Cholesky) Factorize(a *Dense) error {
+	if a.rows != a.cols {
+		return fmt.Errorf("%w: cholesky of %dx%d", ErrDimension, a.rows, a.cols)
+	}
+	n := a.rows
+	if n*n > cap(c.l.data) {
+		return fmt.Errorf("%w: cholesky order %d exceeds workspace capacity %d", ErrDimension, n, cap(c.l.data))
+	}
+	c.n = n
+	c.l.reshape(n, n)
+	if tryCholeskyInto(c.l, a, 0) {
+		return nil
+	}
 	scale := a.MaxAbs()
 	if isZero(scale) {
 		scale = 1
 	}
-	for _, eps := range []float64{1e-12, 1e-10, 1e-8} {
-		if c, ok := tryCholesky(a, eps*scale); ok {
-			return &Cholesky{n: n, l: c}, nil
+	for _, eps := range choleskyJitter {
+		if tryCholeskyInto(c.l, a, eps*scale) {
+			return nil
 		}
 	}
-	return nil, fmt.Errorf("%w: matrix not positive definite", ErrSingular)
+	return errNotPD
 }
 
-// tryCholesky attempts the factorisation of a + jitter·I, returning the
-// factor and whether it succeeded.
-func tryCholesky(a *Dense, jitter float64) (*Dense, bool) {
+// tryCholeskyInto attempts the factorisation of a + jitter·I into l, which
+// must match a's order. l is zeroed at entry: a failed earlier attempt
+// leaves partial writes behind.
+func tryCholeskyInto(l, a *Dense, jitter float64) bool {
 	n := a.rows
-	l := NewDense(n, n)
+	clear(l.data)
 	for j := 0; j < n; j++ {
 		d := a.At(j, j) + jitter
 		for k := 0; k < j; k++ {
@@ -52,7 +88,7 @@ func tryCholesky(a *Dense, jitter float64) (*Dense, bool) {
 			d -= ljk * ljk
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, false
+			return false
 		}
 		ljj := math.Sqrt(d)
 		l.data[j*n+j] = ljj
@@ -64,7 +100,7 @@ func tryCholesky(a *Dense, jitter float64) (*Dense, bool) {
 			l.data[i*n+j] = s / ljj
 		}
 	}
-	return l, true
+	return true
 }
 
 // Size returns the dimension n.
@@ -83,6 +119,19 @@ func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
 	c.forwardSolve(y)
 	c.backSolve(y)
 	return y, nil
+}
+
+// SolveVecInPlace solves A·x = b, overwriting b with x. Bit-identical with
+// SolveVec.
+//
+//ken:hotpath solves in place against the caller's buffer
+func (c *Cholesky) SolveVecInPlace(b []float64) error {
+	if len(b) != c.n {
+		return fmt.Errorf("%w: solve len %d, want %d", ErrDimension, len(b), c.n)
+	}
+	c.forwardSolve(b)
+	c.backSolve(b)
+	return nil
 }
 
 // Solve solves A·X = B column-by-column and returns X.

@@ -1,0 +1,133 @@
+package mat
+
+import "fmt"
+
+// In-place variants of the allocating Dense operations. Hot paths — the
+// per-epoch predict/condition cycle — run these against preallocated
+// workspaces so steady-state epochs stay allocation-free. Each variant
+// replicates its allocating counterpart's loop structure and operation
+// order exactly, so results are bit-identical with the cloning API; that
+// is what keeps Ken's replicated models in lock-step when one replica
+// runs the in-place path and the other the allocating one.
+
+// reshape resizes m to rows×cols within its existing capacity without
+// touching element values; callers overwrite every element. It panics when
+// the backing array is too small — workspaces are sized once at
+// construction, so an undersized reuse is a programming error.
+//
+//ken:hotpath resizes within preallocated capacity; allocates nothing
+func (m *Dense) reshape(rows, cols int) {
+	if rows < 0 || cols < 0 || rows*cols > cap(m.data) {
+		panic(fmt.Sprintf("mat: reshape %dx%d exceeds capacity %d", rows, cols, cap(m.data)))
+	}
+	m.rows, m.cols = rows, cols
+	m.data = m.data[:rows*cols]
+}
+
+// ReuseAs reshapes m to rows×cols within its existing capacity and zeroes
+// the active region. It panics when the backing array is too small (see
+// reshape).
+//
+//ken:hotpath reshapes and zeroes within preallocated capacity
+func (m *Dense) ReuseAs(rows, cols int) {
+	m.reshape(rows, cols)
+	clear(m.data)
+}
+
+// MulInto computes a·b into dst, reshaping dst within its capacity. dst
+// must not alias either operand. Bit-identical with Mul, including the
+// exact-zero skip.
+//
+//ken:hotpath multiplies into the preallocated destination
+func (dst *Dense) MulInto(a, b *Dense) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("%w: mul %dx%d by %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst == a || dst == b {
+		return fmt.Errorf("%w: MulInto destination aliases an operand", ErrDimension)
+	}
+	dst.ReuseAs(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		ai := a.data[i*a.cols : (i+1)*a.cols]
+		oi := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for k, aik := range ai {
+			if isZero(aik) {
+				continue
+			}
+			bk := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bkj := range bk {
+				oi[j] += aik * bkj
+			}
+		}
+	}
+	return nil
+}
+
+// MulVecInto computes m·v into dst, which must have length m.Rows() and
+// must not alias v. Bit-identical with MulVec.
+//
+//ken:hotpath multiplies into the caller's vector
+func (m *Dense) MulVecInto(dst, v []float64) error {
+	if m.cols != len(v) {
+		return fmt.Errorf("%w: mulvec %dx%d by len %d", ErrDimension, m.rows, m.cols, len(v))
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("%w: mulvec dst len %d, want %d", ErrDimension, len(dst), m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for k, mik := range mi {
+			s += mik * v[k]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// AddInto computes a + b into dst, reshaping dst within its capacity.
+// dst may alias a or b (every element is written exactly once from
+// already-read operands). Bit-identical with AddMat.
+//
+//ken:hotpath adds into the preallocated destination
+func (dst *Dense) AddInto(a, b *Dense) error {
+	if a.rows != b.rows || a.cols != b.cols {
+		return fmt.Errorf("%w: add %dx%d with %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols)
+	}
+	dst.reshape(a.rows, a.cols)
+	for i, av := range a.data {
+		dst.data[i] = av + b.data[i]
+	}
+	return nil
+}
+
+// SubInPlace subtracts b from m element-wise. Bit-identical with SubMat.
+//
+//ken:hotpath subtracts into the receiver
+func (m *Dense) SubInPlace(b *Dense) error {
+	if m.rows != b.rows || m.cols != b.cols {
+		return fmt.Errorf("%w: sub %dx%d with %dx%d", ErrDimension, m.rows, m.cols, b.rows, b.cols)
+	}
+	for i, bv := range b.data {
+		m.data[i] -= bv
+	}
+	return nil
+}
+
+// SubmatrixInto extracts src restricted to the given row and column index
+// sets into dst, reshaping dst within its capacity. dst must not alias
+// src. Out-of-range indices panic, as with Submatrix.
+//
+//ken:hotpath extracts into the preallocated destination
+func (dst *Dense) SubmatrixInto(src *Dense, rowIdx, colIdx []int) error {
+	if dst == src {
+		return fmt.Errorf("%w: SubmatrixInto destination aliases the source", ErrDimension)
+	}
+	dst.reshape(len(rowIdx), len(colIdx))
+	for a, i := range rowIdx {
+		for b, j := range colIdx {
+			dst.data[a*dst.cols+b] = src.At(i, j)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package model
+
+import (
+	"testing"
+
+	"ken/internal/alloctest"
+)
+
+// TestAllocBudgetLinearGaussian pins the per-epoch model operations at
+// zero heap allocations — the committed budget table in docs/LINT.md.
+func TestAllocBudgetLinearGaussian(t *testing.T) {
+	if alloctest.RaceEnabled {
+		t.Skip("alloc budgets are not meaningful under -race")
+	}
+	data := garden2Cols(t, 120)
+	lg, err := FitLinearGaussian(data[:100], FitConfig{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, lg.Dim())
+	obs := map[int]float64{0: 20.25}
+
+	budget := func(name string, want float64, f func()) {
+		t.Helper()
+		if got := testing.AllocsPerRun(100, f); got != want {
+			t.Errorf("%s: %v allocs/op, budget %v", name, got, want)
+		}
+	}
+	budget("Step", 0, func() { lg.Step() })
+	budget("MeanInto", 0, func() {
+		if err := lg.MeanInto(dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Condition consumes the belief's observed rows, so each run steps
+	// first — exactly the per-epoch predict/condition cycle of §3.
+	budget("Step+Condition", 0, func() {
+		lg.Step()
+		if err := lg.Condition(obs); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

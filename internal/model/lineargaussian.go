@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"ken/internal/gauss"
 	"ken/internal/mat"
@@ -24,17 +25,26 @@ import (
 type LinearGaussian struct {
 	n       int
 	a       *mat.Dense    // shared, immutable after fit
+	aT      *mat.Dense    // a transposed; shared, immutable after fit
 	q       *mat.Dense    // shared, immutable after fit
 	qChol   *mat.Cholesky // lazily built, shared
 	profile [][]float64   // period × n seasonal means; shared, immutable
 	period  int
 	clock   int
 	state   *gauss.Gaussian // belief over the residual r(clock)
+
+	// Per-instance scratch for the in-place Step/Condition path. Never
+	// shared between clones: replicas mutate their own scratch while
+	// updating, and sharing would break replica independence.
+	ws      *gauss.Workspace
+	idxBuf  []int
+	valsBuf []float64
 }
 
 var (
-	_ Model   = (*LinearGaussian)(nil)
-	_ Sampler = (*LinearGaussian)(nil)
+	_ Model      = (*LinearGaussian)(nil)
+	_ MeanWriter = (*LinearGaussian)(nil)
+	_ Sampler    = (*LinearGaussian)(nil)
 )
 
 // FitConfig controls LinearGaussian learning.
@@ -120,11 +130,15 @@ func FitLinearGaussian(data [][]float64, cfg FitConfig) (*LinearGaussian, error)
 	return &LinearGaussian{
 		n:       n,
 		a:       a,
+		aT:      a.T(),
 		q:       q,
 		profile: profile,
 		period:  period,
 		clock:   T - 1,
 		state:   state,
+		ws:      gauss.NewWorkspace(n),
+		idxBuf:  make([]int, 0, n),
+		valsBuf: make([]float64, 0, n),
 	}, nil
 }
 
@@ -231,30 +245,15 @@ func (lg *LinearGaussian) Dim() int { return lg.n }
 // Clock returns the model's current time index (for testing phase math).
 func (lg *LinearGaussian) Clock() int { return lg.clock }
 
-// Step implements Model: clock++, μ ← A·μ, Σ ← A·Σ·Aᵀ + Q.
+// Step implements Model: clock++, μ ← A·μ, Σ ← A·Σ·Aᵀ + Q. The update runs
+// in place against the instance workspace; results are bit-identical with
+// the allocating formulation (see gauss.Gaussian.Predict).
+//
+//ken:hotpath one predict per epoch; steady state allocates nothing
 func (lg *LinearGaussian) Step() {
-	mu, err := lg.a.MulVec(lg.state.Mean())
-	if err != nil {
+	if err := lg.state.Predict(lg.a, lg.aT, lg.q, lg.ws); err != nil {
 		panic(err) // dimensions fixed at construction
 	}
-	as, err := lg.a.Mul(lg.state.Cov())
-	if err != nil {
-		panic(err)
-	}
-	asat, err := as.Mul(lg.a.T())
-	if err != nil {
-		panic(err)
-	}
-	cov, err := asat.AddMat(lg.q)
-	if err != nil {
-		panic(err)
-	}
-	cov.Symmetrize()
-	state, err := gauss.New(mu, cov)
-	if err != nil {
-		panic(err)
-	}
-	lg.state = state
 	lg.clock++
 }
 
@@ -266,6 +265,21 @@ func (lg *LinearGaussian) phaseMean() []float64 {
 // Mean implements Model.
 func (lg *LinearGaussian) Mean() []float64 {
 	return mat.AddVec(lg.state.Mean(), lg.phaseMean())
+}
+
+// MeanInto implements MeanWriter: Mean without the allocation. dst must
+// have length Dim().
+//
+//ken:hotpath writes the mean into the caller's buffer
+func (lg *LinearGaussian) MeanInto(dst []float64) error {
+	if err := lg.state.MeanInto(dst); err != nil {
+		return err
+	}
+	p := lg.phaseMean()
+	for i := range dst {
+		dst[i] += p[i]
+	}
+	return nil
 }
 
 // Cov returns the covariance of the current belief (residual scale; the
@@ -300,48 +314,41 @@ func (lg *LinearGaussian) MeanGiven(obs map[int]float64) ([]float64, error) {
 
 // Condition implements Model: collapse the belief on the observed values.
 // Observed attributes become exact (zero variance) until the next Step
-// re-inflates uncertainty through Q.
+// re-inflates uncertainty through Q. The update runs in place against the
+// instance scratch; results are bit-identical with the old
+// condition-then-re-embed sequence (see gauss.Gaussian.ObserveExact).
+//
+//ken:hotpath conditioning reuses the instance scratch buffers
 func (lg *LinearGaussian) Condition(obs map[int]float64) error {
 	if len(obs) == 0 {
 		return nil
 	}
-	robs, err := lg.toResidual(obs)
-	if err != nil {
+	if err := checkObs(obs, lg.n); err != nil {
 		return err
 	}
-	cond, keep, err := lg.state.Condition(robs)
-	if err != nil {
-		return err
+	idx := lg.idxBuf[:0]
+	for i := range obs {
+		idx = append(idx, i)
 	}
-	mean := make([]float64, lg.n)
-	cov := mat.NewDense(lg.n, lg.n)
-	for i, v := range robs {
-		mean[i] = v
+	sort.Ints(idx)
+	p := lg.phaseMean()
+	vals := lg.valsBuf[:0]
+	for _, i := range idx {
+		vals = append(vals, obs[i]-p[i])
 	}
-	if cond != nil {
-		cm := cond.Mean()
-		cc := cond.Cov()
-		for a, i := range keep {
-			mean[i] = cm[a]
-			for b, j := range keep {
-				cov.Set(i, j, cc.At(a, b))
-			}
-		}
-	}
-	state, err := gauss.New(mean, cov)
-	if err != nil {
-		return err
-	}
-	lg.state = state
-	return nil
+	return lg.state.ObserveExact(idx, vals, lg.ws)
 }
 
 // Clone implements Model. The learned parameters (A, Q, profile) are
-// immutable after fitting and shared between clones; only the belief state
-// and clock are copied.
+// immutable after fitting and shared between clones; the belief state and
+// the update scratch are per-instance — a shared workspace would let one
+// replica's update corrupt the other's.
 func (lg *LinearGaussian) Clone() Model {
 	cp := *lg
 	cp.state = lg.state.Clone()
+	cp.ws = gauss.NewWorkspace(lg.n)
+	cp.idxBuf = make([]int, 0, lg.n)
+	cp.valsBuf = make([]float64, 0, lg.n)
 	return &cp
 }
 

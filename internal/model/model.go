@@ -42,6 +42,14 @@ type Model interface {
 	Clone() Model
 }
 
+// MeanWriter is implemented by models whose mean can be read without
+// allocating. MeanInto writes the same values Mean returns into dst
+// (which must have length Dim()); hot replay loops use it with a reused
+// buffer to keep suppressed epochs allocation-free.
+type MeanWriter interface {
+	MeanInto(dst []float64) error
+}
+
 // Sampler is implemented by models that can generate synthetic data from
 // themselves; Monte Carlo data-reduction estimation (§4.4) requires it.
 type Sampler interface {

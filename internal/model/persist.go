@@ -72,12 +72,16 @@ func (lg *LinearGaussian) UnmarshalJSON(data []byte) error {
 	}
 	lg.n = w.N
 	lg.a = w.A
+	lg.aT = w.A.T()
 	lg.q = w.Q
 	lg.qChol = nil
 	lg.profile = w.Profile
 	lg.period = w.Period
 	lg.clock = w.Clock
 	lg.state = state
+	lg.ws = gauss.NewWorkspace(w.N)
+	lg.idxBuf = make([]int, 0, w.N)
+	lg.valsBuf = make([]float64, 0, w.N)
 	return nil
 }
 

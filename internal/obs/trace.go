@@ -308,6 +308,7 @@ func (t *Tracer) Flush() error {
 		}
 		return t.c.err
 	}
+	//lint:ignore locksafe the tracer serializes writer access behind the lock by design; Flush races Emit otherwise
 	if err := t.c.bw.Flush(); err != nil && t.c.err == nil {
 		t.c.err = fmt.Errorf("obs: trace flush: %w", err)
 	}

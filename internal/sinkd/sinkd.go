@@ -207,10 +207,17 @@ func (d *Daemon) Serve(ln net.Listener) error {
 func (d *Daemon) Close() {
 	d.mu.Lock()
 	d.closed = true
+	conns := make([]net.Conn, 0, len(d.conns))
 	for c := range d.conns {
-		_ = c.Close()
+		//lint:ignore maprange close order is irrelevant: every connection is closed exactly once and no output depends on the order
+		conns = append(conns, c)
 	}
 	d.mu.Unlock()
+	// Closing a socket can block; do it outside the daemon lock so queries
+	// and tenant listings stay live during shutdown.
+	for _, c := range conns {
+		_ = c.Close()
+	}
 	d.wg.Wait()
 }
 
@@ -360,35 +367,55 @@ func (d *Daemon) build(p deploy.Params) (*deploy.Deployment, error) {
 	return e.dep, e.err
 }
 
+// applyLoop is the tenant's applier: it folds queued frames into the
+// replica until the reader closes the channel. It runs on its own
+// goroutine, registered with the daemon WaitGroup so Close() joins it
+// explicitly (not just transitively through the reader), and signals done
+// so the reader can also join it before returning.
+//
+//ken:hotpath the sink daemon's per-tenant frame-apply loop
+func (d *Daemon) applyLoop(tn *tenant, replica *stream.Replica, done chan<- struct{}) {
+	defer d.wg.Done()
+	defer close(done)
+	for f := range tn.frames {
+		if d.cfg.applyDelay > 0 {
+			time.Sleep(d.cfg.applyDelay)
+		}
+		if err := replica.Apply(f); err != nil {
+			//lint:ignore hotalloc the failure path formats the terminal state detail once, then the loop exits
+			tn.setState(StateFailed, fmt.Sprintf("applying frame %d: %v", f.Step, err))
+			// Drain so the reader never blocks on a dead applier.
+			for range tn.frames {
+			}
+			return
+		}
+		d.mFrames.Inc()
+		d.mValues.Add(int64(len(f.Attrs)))
+	}
+}
+
 // stream is the per-tenant ingest loop: a reader goroutine decodes frames
 // off the socket and a separate applier folds them into the replica, so a
 // long Gaussian conditioning never backs up into the kernel buffers of
 // other connections. The channel between them is the tenant's frame
 // budget: when it overflows, the tenant is shed with a typed reject
 // rather than blocking.
+//
+// The reader reuses one raw-body buffer across frames
+// (stream.ReadFrameBuf); the decoded frames queue in tn.frames, so their
+// Attrs/Values are freshly allocated per frame — only the undecoded body
+// is recycled.
 func (d *Daemon) stream(conn net.Conn, tn *tenant, replica *stream.Replica) {
 	applyDone := make(chan struct{})
-	go func() {
-		defer close(applyDone)
-		for f := range tn.frames {
-			if d.cfg.applyDelay > 0 {
-				time.Sleep(d.cfg.applyDelay)
-			}
-			if err := replica.Apply(f); err != nil {
-				tn.setState(StateFailed, fmt.Sprintf("applying frame %d: %v", f.Step, err))
-				// Drain so the reader never blocks on a dead applier.
-				for range tn.frames {
-				}
-				return
-			}
-			d.mFrames.Inc()
-			d.mValues.Add(int64(len(f.Attrs)))
-		}
-	}()
+	d.wg.Add(1)
+	go d.applyLoop(tn, replica, applyDone)
 
+	var body []byte
 reader:
 	for {
-		f, err := stream.ReadFrame(conn, replica.Resolution())
+		var f wire.Frame
+		var err error
+		f, body, err = stream.ReadFrameBuf(conn, replica.Resolution(), body)
 		if err == io.EOF {
 			tn.setState(StateClosed, "")
 			break

@@ -417,6 +417,78 @@ func TestShedSlowTenant(t *testing.T) {
 	}
 }
 
+// TestCloseJoinsAppliersUnderLoad shuts the daemon down while several
+// tenants' appliers are still draining slowed frame queues, and verifies
+// Close joins every applier goroutine: once it returns the frame counter
+// is quiescent and every tenant has reached a terminal state.
+func TestCloseJoinsAppliersUnderLoad(t *testing.T) {
+	d := New(Config{applyDelay: 20 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = d.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	p := deploy.Params{Dataset: "garden", Seed: 5, TestSteps: 40}
+	dep, err := deploy.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tenants = 3
+	var writers sync.WaitGroup
+	conns := make([]net.Conn, tenants)
+	for i := 0; i < tenants; i++ {
+		src, err := stream.NewSource(dep.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = conn
+		if _, err := stream.Handshake(conn, wire.Hello{Tenant: fmt.Sprintf("load%d", i), Spec: p.EncodeSpec()}); err != nil {
+			t.Fatal(err)
+		}
+		writers.Add(1)
+		go func(src *stream.Source, conn net.Conn) {
+			defer writers.Done()
+			for _, row := range dep.Test {
+				f, err := src.Collect(row)
+				if err != nil {
+					return
+				}
+				// Write errors just end the writer: the daemon may close the
+				// connection under us mid-shutdown, which is the point.
+				if err := stream.WriteFrame(conn, f, src.Resolution()); err != nil {
+					return
+				}
+			}
+		}(src, conn)
+	}
+
+	// Let frames pile up behind the slowed appliers, then pull the plug.
+	time.Sleep(100 * time.Millisecond)
+	_ = ln.Close()
+	d.Close()
+
+	applied := d.mFrames.Value()
+	time.Sleep(3 * 20 * time.Millisecond)
+	if got := d.mFrames.Value(); got != applied {
+		t.Fatalf("appliers still running after Close: frames %d -> %d", applied, got)
+	}
+	for _, info := range d.Tenants() {
+		if !info.State.terminal() {
+			t.Fatalf("tenant %s left in state %q after Close", info.Name, info.State)
+		}
+	}
+	writers.Wait()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
 // TestHTTPAPI drives the /v1 endpoints end to end against a live tenant.
 func TestHTTPAPI(t *testing.T) {
 	d, addr := newDaemon(t, Config{})

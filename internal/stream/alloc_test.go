@@ -1,0 +1,53 @@
+package stream
+
+import (
+	"testing"
+
+	"ken/internal/alloctest"
+	"ken/internal/wire"
+)
+
+// TestAllocBudgetStream pins the endpoints' steady state — suppressed
+// source epochs and empty sink frames — at zero heap allocations per step
+// (the committed budget table in docs/LINT.md). Bounds far wider than the
+// signal make every step suppress deterministically.
+func TestAllocBudgetStream(t *testing.T) {
+	if alloctest.RaceEnabled {
+		t.Skip("alloc budgets are not meaningful under -race")
+	}
+	cfg, test := testConfig(t)
+	for i := range cfg.Eps {
+		cfg.Eps[i] = 100
+	}
+	src, err := NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplica(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := test[0]
+
+	if got := testing.AllocsPerRun(100, func() {
+		f, err := src.Collect(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Attrs) != 0 {
+			t.Fatal("step reported despite wide bounds — budget premise broken")
+		}
+	}); got != 0 {
+		t.Errorf("suppressed Source.Collect: %v allocs/op, budget 0", got)
+	}
+
+	var step uint64
+	if got := testing.AllocsPerRun(100, func() {
+		if err := rep.Apply(wire.Frame{Step: step}); err != nil {
+			t.Fatal(err)
+		}
+		step++
+	}); got != 0 {
+		t.Errorf("empty Replica.Apply: %v allocs/op, budget 0", got)
+	}
+}

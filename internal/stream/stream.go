@@ -55,6 +55,16 @@ type cliqueState struct {
 	members []int
 	mdl     model.Model
 	eps     []float64 // effective (ε − resolution/2)
+
+	// mw is mdl's allocation-free mean writer (nil when unsupported);
+	// local/meanBuf/obsScratch are per-clique step scratch, reused across
+	// frames. Sources and replicas never share a cliqueState, and both run
+	// their protocol loops serialized (the Replica under its mutex), so the
+	// scratch needs no locking of its own.
+	mw         model.MeanWriter
+	local      []float64
+	meanBuf    []float64
+	obsScratch map[int]float64
 }
 
 // build fits the per-clique models once and validates the config.
@@ -104,10 +114,16 @@ func build(cfg Config) ([]cliqueState, float64, error) {
 		for i, g := range c.Members {
 			eps[i] = cfg.Eps[g] - res/2
 		}
+		cl := mdl.Clone()
+		mw, _ := cl.(model.MeanWriter)
 		states = append(states, cliqueState{
-			members: append([]int(nil), c.Members...),
-			mdl:     mdl.Clone(),
-			eps:     eps,
+			members:    append([]int(nil), c.Members...),
+			mdl:        cl,
+			eps:        eps,
+			mw:         mw,
+			local:      make([]float64, len(c.Members)),
+			meanBuf:    make([]float64, len(c.Members)),
+			obsScratch: make(map[int]float64, len(c.Members)),
 		})
 	}
 	return states, res, nil
@@ -173,7 +189,7 @@ func (s *Source) Collect(truth []float64) (wire.Frame, error) {
 	for ci := range s.cl {
 		c := &s.cl[ci]
 		c.mdl.Step()
-		local := make([]float64, len(c.members))
+		local := c.local
 		for i, g := range c.members {
 			local[i] = truth[g]
 		}
@@ -184,11 +200,22 @@ func (s *Source) Collect(truth []float64) (wire.Frame, error) {
 				obs[i] = v
 			}
 		} else {
+			// Fast path: a prediction already within every bound makes the
+			// greedy search return the empty set — skip it (and its
+			// allocations) outright. Suppressed steps then touch only the
+			// reused clique scratch.
+			if c.mw != nil && c.mw.MeanInto(c.meanBuf) == nil &&
+				model.WithinBounds(c.meanBuf, local, c.eps) {
+				continue
+			}
 			var err error
 			obs, err = model.ChooseReportGreedy(c.mdl, local, c.eps)
 			if err != nil {
 				return wire.Frame{}, err
 			}
+		}
+		if len(obs) == 0 {
+			continue
 		}
 		// Quantize, transmit, and condition on exactly what was sent.
 		quant := make(map[int]float64, len(obs))
@@ -242,6 +269,8 @@ type Replica struct {
 	next uint64    // expected next frame step
 	// Frames counts applied frames; Heartbeats counts heartbeat frames.
 	frames, heartbeats int
+	// byAttr is Apply's reused frame-index scratch, guarded by mu.
+	byAttr map[int]float64
 
 	// Observability handles (nil and no-op until Instrument is called).
 	tracer      *obs.Tracer
@@ -271,7 +300,8 @@ func NewReplica(cfg Config) (*Replica, error) {
 		return nil, err
 	}
 	return &Replica{cl: cl, res: res, n: len(cfg.Eps),
-		eps: append([]float64(nil), cfg.Eps...)}, nil
+		eps:    append([]float64(nil), cfg.Eps...),
+		byAttr: make(map[int]float64, len(cfg.Eps))}, nil
 }
 
 // Resolution returns the negotiated wire resolution.
@@ -280,29 +310,38 @@ func (r *Replica) Resolution() float64 { return r.res }
 // Apply folds one frame into the replica. Frames must arrive in step
 // order; a gap means lost frames and is an error (the transport below is
 // reliable — for lossy transports see core.LossyKen and simnet).
+//
+// The frame is not retained: its slices are read synchronously (the trace
+// event, too, is marshalled before Emit returns), so callers may reuse the
+// frame's backing arrays for the next read (Serve does, via
+// wire.DecodeInto). Steady-state empty frames apply without allocating.
+//
+//ken:hotpath the sink's per-frame apply loop
 func (r *Replica) Apply(f wire.Frame) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f.Step != r.next {
 		return fmt.Errorf("stream: frame for step %d, expected %d", f.Step, r.next)
 	}
-	byAttr := make(map[int]float64, len(f.Attrs))
+	clear(r.byAttr)
 	for i, a := range f.Attrs {
 		if a < 0 || a >= r.n {
 			return fmt.Errorf("stream: frame attribute %d out of range %d", a, r.n)
 		}
-		byAttr[a] = f.Values[i]
+		r.byAttr[a] = f.Values[i]
 	}
 	for ci := range r.cl {
 		c := &r.cl[ci]
 		c.mdl.Step()
-		obs := map[int]float64{}
-		for i, g := range c.members {
-			if v, ok := byAttr[g]; ok {
-				obs[i] = v
+		clear(c.obsScratch)
+		if len(r.byAttr) > 0 {
+			for i, g := range c.members {
+				if v, ok := r.byAttr[g]; ok {
+					c.obsScratch[i] = v
+				}
 			}
 		}
-		if err := c.mdl.Condition(obs); err != nil {
+		if err := c.mdl.Condition(c.obsScratch); err != nil {
 			return err
 		}
 	}
@@ -311,6 +350,7 @@ func (r *Replica) Apply(f wire.Frame) error {
 	r.mFrames.Inc()
 	r.mValues.Add(int64(len(f.Attrs)))
 	r.gStep.Set(float64(f.Step))
+	//lint:ignore hotalloc traced replicas marshal the apply event; the tracer handle is nil (a no-op) everywhere performance matters
 	r.tracer.Emit(obs.Event{
 		Type: obs.EvApply, Step: int64(f.Step), Clique: -1, Node: -1,
 		Attrs: f.Attrs, Values: f.Values, N: len(f.Attrs),
@@ -402,7 +442,12 @@ func writeRaw(w io.Writer, buf []byte) error {
 
 // readRaw reads one length-prefixed frame body. io.EOF at a frame boundary
 // is returned as io.EOF; a partial frame is an unexpected-EOF error.
-func readRaw(rd io.Reader) ([]byte, error) {
+func readRaw(rd io.Reader) ([]byte, error) { return readRawInto(rd, nil) }
+
+// readRawInto is readRaw reading into buf's backing array when its
+// capacity suffices, allocating a larger one otherwise. The returned slice
+// (resized to the frame) replaces buf for the next call.
+func readRawInto(rd io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
 		if err == io.EOF {
@@ -414,7 +459,10 @@ func readRaw(rd io.Reader) ([]byte, error) {
 	if size > maxFrameBytes {
 		return nil, fmt.Errorf("stream: frame of %d bytes exceeds limit", size)
 	}
-	buf := make([]byte, size)
+	if cap(buf) < int(size) {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
 	if _, err := io.ReadFull(rd, buf); err != nil {
 		return nil, fmt.Errorf("stream: read frame: %w", err)
 	}
@@ -433,22 +481,48 @@ func WriteFrame(w io.Writer, f wire.Frame, res float64) error {
 // ReadFrame reads one length-prefixed frame. io.EOF at a frame boundary is
 // returned as io.EOF; a partial frame is an unexpected-EOF error.
 func ReadFrame(rd io.Reader, res float64) (wire.Frame, error) {
-	buf, err := readRaw(rd)
+	f, _, err := ReadFrameBuf(rd, res, nil)
+	return f, err
+}
+
+// ReadFrameBuf is ReadFrame with a caller-owned raw-body buffer: the frame
+// body is read into buf's backing array when its capacity suffices, and the
+// (possibly grown) buffer is returned for the next call. The decoded
+// frame's Attrs/Values are freshly allocated, so the frame may be retained
+// or queued while buf is reused for further reads.
+func ReadFrameBuf(rd io.Reader, res float64, buf []byte) (wire.Frame, []byte, error) {
+	body, err := readRawInto(rd, buf)
 	if err != nil {
-		return wire.Frame{}, err
+		if err == io.EOF {
+			return wire.Frame{}, buf, io.EOF
+		}
+		return wire.Frame{}, buf, err
 	}
-	return wire.Decode(buf, res)
+	f, err := wire.Decode(body, res)
+	if err != nil {
+		return wire.Frame{}, body, err
+	}
+	return f, body, nil
 }
 
 // Serve applies frames from the reader until EOF or error. It returns nil
-// on clean EOF.
+// on clean EOF. The loop owns a persistent frame and body buffer, decoding
+// each frame in place (wire.DecodeInto) before the synchronous Apply — so a
+// steady-state stream of suppressed (empty) frames serves without
+// allocating per frame.
 func (r *Replica) Serve(rd io.Reader) error {
+	var f wire.Frame
+	var body []byte
 	for {
-		f, err := ReadFrame(rd, r.res)
+		var err error
+		body, err = readRawInto(rd, body)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
+			return err
+		}
+		if err := wire.DecodeInto(&f, body, r.res); err != nil {
 			return err
 		}
 		if err := r.Apply(f); err != nil {

@@ -97,65 +97,85 @@ func Encode(f Frame, resolution float64) ([]byte, error) {
 
 // Decode parses a frame encoded with the same resolution.
 func Decode(buf []byte, resolution float64) (Frame, error) {
+	var f Frame
+	if err := DecodeInto(&f, buf, resolution); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// DecodeInto parses a frame encoded with the same resolution into f,
+// reusing f's Attrs and Values backing arrays when their capacity suffices
+// (they come back length-0 rather than nil for empty frames). A frame
+// whose pairs fit the existing capacity decodes without allocating. On
+// error f is left in an unspecified state.
+//
+//ken:hotpath decodes into the caller's frame, reusing its backing arrays
+func DecodeInto(f *Frame, buf []byte, resolution float64) error {
 	if resolution <= 0 {
-		return Frame{}, fmt.Errorf("wire: non-positive resolution %v", resolution)
+		return fmt.Errorf("wire: non-positive resolution %v", resolution)
 	}
 	if len(buf) < 2 || buf[0] != Magic {
-		return Frame{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	kind := Kind(buf[1])
 	if kind != KindReport && kind != KindHeartbeat {
-		return Frame{}, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+		return fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
 	}
 	rest := buf[2:]
 	step, n := binary.Uvarint(rest)
 	if n <= 0 {
-		return Frame{}, fmt.Errorf("%w: step", ErrCorrupt)
+		return fmt.Errorf("%w: step", ErrCorrupt)
 	}
 	rest = rest[n:]
 	count64, n := binary.Uvarint(rest)
 	if n <= 0 {
-		return Frame{}, fmt.Errorf("%w: count", ErrCorrupt)
+		return fmt.Errorf("%w: count", ErrCorrupt)
 	}
 	rest = rest[n:]
 	if count64 > 1<<20 {
-		return Frame{}, fmt.Errorf("%w: implausible count %d", ErrCorrupt, count64)
+		return fmt.Errorf("%w: implausible count %d", ErrCorrupt, count64)
 	}
 	count := int(count64)
-	f := Frame{Step: step, Special: kind}
+	f.Step = step
+	f.Special = kind
+	attrs := f.Attrs[:0]
+	values := f.Values[:0]
+	f.Attrs = attrs
+	f.Values = values
 	if count == 0 {
 		if len(rest) != 0 {
-			return Frame{}, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+			return fmt.Errorf("%w: trailing bytes", ErrCorrupt)
 		}
-		return f, nil
+		return nil
 	}
-	f.Attrs = make([]int, count)
 	prev := 0
 	for i := 0; i < count; i++ {
 		d, n := binary.Uvarint(rest)
 		if n <= 0 {
-			return Frame{}, fmt.Errorf("%w: attr %d", ErrCorrupt, i)
+			return fmt.Errorf("%w: attr %d", ErrCorrupt, i)
 		}
 		// Attributes are strictly ascending: every delta after the first
 		// must be at least 1 (a zero delta would be a duplicate).
 		if i > 0 && d == 0 {
-			return Frame{}, fmt.Errorf("%w: duplicate attribute delta", ErrCorrupt)
+			return fmt.Errorf("%w: duplicate attribute delta", ErrCorrupt)
 		}
 		rest = rest[n:]
 		prev += int(d)
-		f.Attrs[i] = prev
+		attrs = append(attrs, prev)
 	}
-	f.Values = make([]float64, count)
 	for i := 0; i < count; i++ {
 		q, n := binary.Varint(rest)
 		if n <= 0 {
-			return Frame{}, fmt.Errorf("%w: value %d", ErrCorrupt, i)
+			return fmt.Errorf("%w: value %d", ErrCorrupt, i)
 		}
 		rest = rest[n:]
-		f.Values[i] = float64(q) * resolution
+		values = append(values, float64(q)*resolution)
 	}
 	if len(rest) != 0 {
-		return Frame{}, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+		return fmt.Errorf("%w: trailing bytes", ErrCorrupt)
 	}
-	return f, nil
+	f.Attrs = attrs
+	f.Values = values
+	return nil
 }
