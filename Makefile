@@ -69,20 +69,38 @@ bench-baseline:
 # sinkd-smoke proves the multi-tenant daemon end to end with real
 # processes: kensinkd pinned to one deployment, three concurrent kensource
 # tenants streaming through the session handshake, the /v1/query answers
-# verified bit-identical to local reference replicas by kenswarm, and a
-# mismatched-spec client rejected with the typed "spec rejected" error.
+# verified bit-identical to local reference replicas by kenswarm, a
+# mismatched-spec client rejected with the typed "spec rejected" error,
+# and the live SLO monitor probed both ways — /v1/health healthy via
+# `kentop -once -fail-degraded` after the clean run, then degraded on a
+# second daemon whose injected apply delay (-apply-delay) sheds a bursty
+# tenant, flipping /v1/health to 503/"shedding" end to end.
 sinkd-smoke:
-	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"; kill $$daemon 2>/dev/null' EXIT && \
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"; kill $$daemon $$daemon2 2>/dev/null' EXIT && \
 	$(GO) build -o "$$tmp/kensinkd" ./cmd/kensinkd && \
 	$(GO) build -o "$$tmp/kenswarm" ./cmd/kenswarm && \
 	$(GO) build -o "$$tmp/kensource" ./cmd/kensource && \
+	$(GO) build -o "$$tmp/kentop" ./cmd/kentop && \
 	{ "$$tmp/kensinkd" -pin -seed 1 -listen 127.0.0.1:7171 -http 127.0.0.1:7172 >"$$tmp/daemon.log" 2>&1 & } && daemon=$$! && \
 	"$$tmp/kenswarm" -connect 127.0.0.1:7171 -http http://127.0.0.1:7172 \
 		-seed 1 -tenants 3 -specs 1 -steps 150 -verify && \
 	if "$$tmp/kensource" -connect 127.0.0.1:7171 -tenant intruder -seed 99 -steps 10 2>"$$tmp/rej.log"; then \
 		echo "sinkd-smoke: FAIL (pinned daemon accepted a mismatched spec)"; exit 1; fi && \
 	grep -q "spec rejected" "$$tmp/rej.log" && \
-	echo "sinkd-smoke: PASS (3 tenants verified bit-identical; mismatched spec rejected)"
+	"$$tmp/kentop" -http http://127.0.0.1:7172 -once -fail-degraded >"$$tmp/top.log" && \
+	grep -q "status: ok" "$$tmp/top.log" && \
+	{ "$$tmp/kensinkd" -listen 127.0.0.1:7173 -http 127.0.0.1:7174 \
+		-frame-budget 2 -apply-delay 200ms >"$$tmp/daemon2.log" 2>&1 & } && daemon2=$$! && \
+	sleep 1 && \
+	{ "$$tmp/kensource" -connect 127.0.0.1:7173 -tenant bursty -seed 1 -steps 40 2>"$$tmp/shed.log" || true; } && \
+	shed=""; for i in $$(seq 1 20); do \
+		if "$$tmp/kentop" -http http://127.0.0.1:7174 -once | grep -q "shedding"; then shed=yes; break; fi; \
+		sleep 0.5; \
+	done; test -n "$$shed" || { echo "sinkd-smoke: FAIL (tenant never shed)"; cat "$$tmp/daemon2.log"; exit 1; } && \
+	if "$$tmp/kentop" -http http://127.0.0.1:7174 -once -fail-degraded >"$$tmp/top2.log"; then \
+		echo "sinkd-smoke: FAIL (kentop did not flag the degraded daemon)"; exit 1; fi && \
+	grep -q "status: degraded" "$$tmp/top2.log" && \
+	echo "sinkd-smoke: PASS (3 tenants verified bit-identical; mismatched spec rejected; health ok->degraded probed via kentop)"
 
 # audit-smoke proves the protocol invariants on real traces: a kensim lab
 # comparison and the quick benchmark suite at pool widths 1 and 8, each

@@ -35,6 +35,7 @@ import (
 	"ken/internal/deploy"
 	"ken/internal/obs"
 	"ken/internal/sinkd"
+	"ken/internal/slo"
 )
 
 func main() {
@@ -49,6 +50,9 @@ type options struct {
 	pin         bool
 	maxTenants  int
 	frameBudget int
+	applyDelay  time.Duration
+	staleAfter  time.Duration
+	latBudget   time.Duration
 	params      deploy.Params
 	ob          *obs.Observer
 
@@ -67,6 +71,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&o.pin, "pin", false, "admit only the deployment described by the -dataset/-seed/-train/-k/-eps flags; reject every other spec")
 	fs.IntVar(&o.maxTenants, "max-tenants", 1024, "reject sessions beyond this many live tenants")
 	fs.IntVar(&o.frameBudget, "frame-budget", 256, "queued frames per tenant before it is shed")
+	fs.DurationVar(&o.applyDelay, "apply-delay", 0, "fault injection: slow every frame apply by this much (ops rehearsal for the backpressure/shed path)")
+	fs.DurationVar(&o.staleAfter, "stale-after", 0, "mark a silent tenant stale in /v1/health after this long (0 = slo default)")
+	fs.DurationVar(&o.latBudget, "latency-budget", 0, "ingest→apply latency above which an ε deviation counts as a violation (0 = slo default)")
 	obsAddr := fs.String("obs-addr", "", "serve the daemon /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 	var logFlags obs.LogFlags
 	logFlags.Register(fs)
@@ -100,7 +107,9 @@ func (o options) run(ctx context.Context, stdout io.Writer) error {
 	cfg := sinkd.Config{
 		MaxTenants:  o.maxTenants,
 		FrameBudget: o.frameBudget,
+		ApplyDelay:  o.applyDelay,
 		Obs:         o.ob,
+		SLO:         slo.Config{StaleAfter: o.staleAfter, LatencyBudget: o.latBudget},
 	}
 	if o.pin {
 		if err := o.params.Validate(); err != nil {
@@ -138,7 +147,7 @@ func (o options) run(ctx context.Context, stdout io.Writer) error {
 	var httpSrv *http.Server
 	if httpLn != nil {
 		slog.Info("query API up", "addr", httpLn.Addr().String(),
-			"paths", "/v1/tenants /v1/query /v1/metrics")
+			"paths", "/v1/tenants /v1/query /v1/metrics /v1/health /v1/slo")
 		fmt.Fprintf(stdout, "kensinkd: query API on http://%s/v1\n", httpLn.Addr().String())
 		httpSrv = &http.Server{Handler: d.Handler()}
 		go func() {

@@ -103,6 +103,21 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("answer %+v", q.Answer)
 	}
 
+	// The health endpoint is live on the same mux: a tenant that streamed
+	// to completion leaves the daemon healthy (clean close is benign).
+	hresp, err := http.Get(fmt.Sprintf("http://%s/v1/health", addrs[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep sinkd.HealthReport
+	if err := json.NewDecoder(hresp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || rep.Status != "ok" || len(rep.Tenants) != 1 {
+		t.Fatalf("/v1/health: code=%d report=%+v, want 200 ok with 1 tenant", hresp.StatusCode, rep)
+	}
+
 	cancel()
 	if err := <-errCh; err != nil {
 		t.Fatal(err)

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ken/internal/sinkd"
+	"ken/internal/slo"
+)
+
+// healthServer serves a canned /v1/health with the given status code.
+func healthServer(t *testing.T, code int, rep sinkd.HealthReport) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		if err := json.NewEncoder(w).Encode(rep); err != nil {
+			t.Error(err)
+		}
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestOnceHealthy(t *testing.T) {
+	rep := sinkd.HealthReport{
+		Status: "ok",
+		Tenants: []sinkd.HealthTenant{{
+			Name: "t1", State: sinkd.StateStreaming, Health: slo.HealthOK,
+			Window: slo.WindowStats{LastStep: 412, QueueDepth: 1, QueueCap: 256, LatencyP95: 0.0004, StalenessSeconds: 0.12},
+		}},
+	}
+	srv := healthServer(t, http.StatusOK, rep)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-http", srv.URL, "-once", "-fail-degraded"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"status: ok", "t1", "streaming", "412", "1/256", "TENANT"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "\x1b[2J") {
+		t.Error("-once output contains the screen-clear escape")
+	}
+}
+
+func TestOnceDegradedFailFlag(t *testing.T) {
+	rep := sinkd.HealthReport{
+		Status: "degraded", Unhealthy: 1,
+		Tenants: []sinkd.HealthTenant{{
+			Name: "slow", State: sinkd.StateShed, Health: slo.HealthShedding,
+			Reasons: []string{slo.ReasonShed},
+			Window:  slo.WindowStats{TotalSheds: 1},
+		}},
+	}
+	srv := healthServer(t, http.StatusServiceUnavailable, rep)
+
+	// Without -fail-degraded, -once renders and exits 0: the 503 payload
+	// is the dashboard's content, not a transport failure.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-http", srv.URL, "-once"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d without -fail-degraded, want 0; stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"status: degraded", "shedding", slo.ReasonShed} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-http", srv.URL, "-once", "-fail-degraded"}, &out, &errb); code != 3 {
+		t.Fatalf("exit %d with -fail-degraded, want 3", code)
+	}
+	if !strings.Contains(errb.String(), "degraded") {
+		t.Errorf("stderr %q lacks the degraded verdict", errb.String())
+	}
+}
+
+func TestUnreachableDaemon(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-http", "http://127.0.0.1:1", "-once"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d against a dead daemon, want 1", code)
+	}
+	if errb.Len() == 0 {
+		t.Error("no error reported for an unreachable daemon")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for an unknown flag, want 2", code)
+	}
+}

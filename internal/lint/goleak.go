@@ -15,12 +15,12 @@ import (
 // catalogues, and the sinkd shutdown-under-load test exercises).
 var GoLeak = &driver.Analyzer{
 	Name: "goleak",
-	Doc: "every go statement in internal/sinkd, internal/engine, internal/simnet and " +
-		"internal/obs must have a visible lifecycle: the goroutine body or callee " +
+	Doc: "every go statement in internal/sinkd, internal/engine, internal/simnet, " +
+		"internal/obs and internal/slo must have a visible lifecycle: the goroutine body or callee " +
 		"receives a context.Context, *sync.WaitGroup, or a done/stop channel from the " +
 		"enclosing scope (a method receiver carrying one of those in a field also " +
 		"counts); otherwise shutdown cannot join it",
-	Scope: driver.ScopeIn("internal/sinkd", "internal/engine", "internal/simnet", "internal/obs"),
+	Scope: driver.ScopeIn("internal/sinkd", "internal/engine", "internal/simnet", "internal/obs", "internal/slo"),
 	Run:   runGoLeak,
 }
 

@@ -143,6 +143,7 @@ func TestScopes(t *testing.T) {
 		{lint.GoLeak, "internal/engine", true},
 		{lint.GoLeak, "internal/simnet", true},
 		{lint.GoLeak, "internal/obs", true},
+		{lint.GoLeak, "internal/slo", true},
 		{lint.GoLeak, "internal/core", false},
 	}
 	for _, c := range cases {

@@ -13,26 +13,34 @@ import (
 // WritePrometheus renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4). Counters and gauges map directly; histograms are
 // exported as summaries (quantile series plus _sum and _count), which is
-// what the bucketless quantile snapshot corresponds to. Output is sorted
+// what the bucketless quantile snapshot corresponds to. Every metric gets
+// a # HELP line — the string set via Registry.Describe, defaulting to the
+// metric name so scrapers always see a well-formed pair. Output is sorted
 // by metric name, so identical registries render identical bytes.
 func WritePrometheus(w io.Writer, s Snapshot) error {
+	help := func(name string) string {
+		if h, ok := s.Help[name]; ok && h != "" {
+			return h
+		}
+		return name
+	}
 	for _, name := range s.names() {
 		if v, ok := s.Counters[name]; ok {
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help(name), name, name, v); err != nil {
 				return err
 			}
 			continue
 		}
 		if v, ok := s.Gauges[name]; ok {
-			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, v); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help(name), name, name, v); err != nil {
 				return err
 			}
 			continue
 		}
 		if h, ok := s.Histograms[name]; ok {
 			_, err := fmt.Fprintf(w,
-				"# TYPE %s summary\n%s{quantile=\"0.5\"} %v\n%s{quantile=\"0.9\"} %v\n%s{quantile=\"0.99\"} %v\n%s_sum %v\n%s_count %d\n",
-				name, name, h.P50, name, h.P90, name, h.P99, name, h.Sum, name, h.Count)
+				"# HELP %s %s\n# TYPE %s summary\n%s{quantile=\"0.5\"} %v\n%s{quantile=\"0.9\"} %v\n%s{quantile=\"0.95\"} %v\n%s{quantile=\"0.99\"} %v\n%s_sum %v\n%s_count %d\n",
+				name, help(name), name, name, h.P50, name, h.P90, name, h.P95, name, h.P99, name, h.Sum, name, h.Count)
 			if err != nil {
 				return err
 			}

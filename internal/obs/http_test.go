@@ -13,10 +13,11 @@ import (
 )
 
 // goldenRegistry builds a registry with one of each metric kind and known
-// values: counter c=3, gauge g=2.5, histogram h over {1, 2, 4}.
+// values: counter c=3 (described), gauge g=2.5, histogram h over {1, 2, 4}.
 func goldenRegistry() *obs.Registry {
 	reg := obs.NewRegistry()
 	reg.Counter("c").Add(3)
+	reg.Describe("c", "a described counter")
 	reg.Gauge("g").Set(2.5)
 	h := reg.Histogram("h")
 	h.Observe(1)
@@ -26,13 +27,17 @@ func goldenRegistry() *obs.Registry {
 }
 
 func TestWritePrometheusGolden(t *testing.T) {
-	const want = `# TYPE c counter
+	const want = `# HELP c a described counter
+# TYPE c counter
 c 3
+# HELP g g
 # TYPE g gauge
 g 2.5
+# HELP h h
 # TYPE h summary
 h{quantile="0.5"} 2
 h{quantile="0.9"} 4
+h{quantile="0.95"} 4
 h{quantile="0.99"} 4
 h_sum 7
 h_count 3
@@ -57,6 +62,7 @@ func TestWriteExpvarGolden(t *testing.T) {
     "max": 4,
     "p50": 2,
     "p90": 4,
+    "p95": 4,
     "p99": 4
   }
 }

@@ -185,6 +185,7 @@ type HistSnapshot struct {
 	Max   float64 `json:"max"`
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
 }
 
@@ -206,6 +207,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	}
 	s.P50 = h.quantile(n, 0.50, s.Min, s.Max)
 	s.P90 = h.quantile(n, 0.90, s.Min, s.Max)
+	s.P95 = h.quantile(n, 0.95, s.Min, s.Max)
 	s.P99 = h.quantile(n, 0.99, s.Min, s.Max)
 	return s
 }
@@ -271,11 +273,27 @@ func (t *Timer) Snapshot() HistSnapshot {
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]any
+	help    map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{metrics: map[string]any{}}
+	return &Registry{metrics: map[string]any{}, help: map[string]string{}}
+}
+
+// Describe attaches a one-line help string to a metric name, emitted as
+// the Prometheus # HELP line. May be called before or after the metric
+// is first used; the last call wins. No-op on a nil registry.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.help == nil {
+		r.help = map[string]string{}
+	}
+	r.help[name] = help
 }
 
 // lookup returns the named metric, creating it with mk on first use, and
@@ -338,6 +356,7 @@ type Snapshot struct {
 	Counters   map[string]int64        `json:"counters,omitempty"`
 	Gauges     map[string]float64      `json:"gauges,omitempty"`
 	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	Help       map[string]string       `json:"help,omitempty"`
 }
 
 // Snapshot captures every registered metric. A nil registry yields an
@@ -367,6 +386,12 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 			s.Histograms[name] = m.Snapshot()
 		}
+	}
+	for name, help := range r.help {
+		if s.Help == nil {
+			s.Help = map[string]string{}
+		}
+		s.Help[name] = help
 	}
 	return s
 }

@@ -39,8 +39,8 @@ func TestHistogramSnapshot(t *testing.T) {
 	if s.Count != 3 || s.Sum != 7 || s.Min != 1 || s.Max != 4 {
 		t.Fatalf("snapshot=%+v, want count 3 sum 7 min 1 max 4", s)
 	}
-	if s.P50 != 2 || s.P90 != 4 || s.P99 != 4 {
-		t.Fatalf("quantiles p50=%v p90=%v p99=%v, want 2/4/4", s.P50, s.P90, s.P99)
+	if s.P50 != 2 || s.P90 != 4 || s.P95 != 4 || s.P99 != 4 {
+		t.Fatalf("quantiles p50=%v p90=%v p95=%v p99=%v, want 2/4/4/4", s.P50, s.P90, s.P95, s.P99)
 	}
 }
 
@@ -79,8 +79,8 @@ func TestHistogramSingleObservation(t *testing.T) {
 	if s.Count != 1 || s.Sum != 3.5 || s.Min != 3.5 || s.Max != 3.5 {
 		t.Fatalf("snapshot=%+v, want count 1 and min=max=sum=3.5", s)
 	}
-	if s.P50 != 3.5 || s.P90 != 3.5 || s.P99 != 3.5 {
-		t.Fatalf("quantiles %v/%v/%v, want all 3.5", s.P50, s.P90, s.P99)
+	if s.P50 != 3.5 || s.P90 != 3.5 || s.P95 != 3.5 || s.P99 != 3.5 {
+		t.Fatalf("quantiles %v/%v/%v/%v, want all 3.5", s.P50, s.P90, s.P95, s.P99)
 	}
 }
 
@@ -97,8 +97,8 @@ func TestHistogramAllEqual(t *testing.T) {
 	if s.Count != 100 || s.Sum != 700 || s.Min != 7 || s.Max != 7 {
 		t.Fatalf("snapshot=%+v, want count 100 sum 700 min=max=7", s)
 	}
-	if s.P50 != 7 || s.P90 != 7 || s.P99 != 7 {
-		t.Fatalf("quantiles %v/%v/%v, want all 7", s.P50, s.P90, s.P99)
+	if s.P50 != 7 || s.P90 != 7 || s.P95 != 7 || s.P99 != 7 {
+		t.Fatalf("quantiles %v/%v/%v/%v, want all 7", s.P50, s.P90, s.P95, s.P99)
 	}
 }
 

@@ -1,0 +1,48 @@
+package sinkd
+
+import (
+	"testing"
+	"time"
+
+	"ken/internal/alloctest"
+	"ken/internal/deploy"
+	"ken/internal/slo"
+	"ken/internal/stream"
+	"ken/internal/wire"
+)
+
+// TestAllocBudgetSinkdApply pins the daemon's per-frame apply — replica
+// conditioning, daemon counters and the SLO feed publish — at zero heap
+// allocations for steady-state empty frames, with the live monitor
+// attached. The monitor's sync interval is pushed out so its drain
+// goroutine (whose scratch growth is off the hot path by design) cannot
+// allocate mid-measurement: AllocsPerRun counts process-wide mallocs.
+func TestAllocBudgetSinkdApply(t *testing.T) {
+	if alloctest.RaceEnabled {
+		t.Skip("alloc budgets are not meaningful under -race")
+	}
+	d := New(Config{SLO: slo.Config{SyncEvery: time.Hour}})
+	defer d.Close()
+	dep, err := deploy.Build(deploy.Params{Dataset: "garden", Seed: 1, TestSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := stream.NewReplica(dep.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := &tenant{name: "alloc", mon: d.monitor, frames: make(chan queued, 4)}
+
+	var step uint64
+	if got := testing.AllocsPerRun(100, func() {
+		if err := d.applyFrame(tn, replica, queued{f: wire.Frame{Step: step}}); err != nil {
+			t.Fatal(err)
+		}
+		step++
+	}); got != 0 {
+		t.Errorf("applyFrame with monitor attached: %v allocs/op, budget 0", got)
+	}
+	if st := d.monitor.FeedStats(); st.Published+st.Dropped < 100 {
+		t.Fatalf("feed saw %d events, want >= 100 — publishes not reaching the feed", st.Published+st.Dropped)
+	}
+}

@@ -1,5 +1,5 @@
-// The daemon's HTTP query API. Three read-only JSON endpoints over the
-// live replicas:
+// The daemon's HTTP query API. Read-only JSON endpoints over the live
+// replicas and the live SLO monitor:
 //
 //	GET /v1/tenants                  — every tenant with state and spec
 //	GET /v1/query?tenant=T           — T's live SELECT * answer (±ε)
@@ -7,16 +7,23 @@
 //	     [&attrs=0,3,7]                 snapshot, with its derived bound
 //	GET /v1/metrics                  — daemon-wide sinkd_* counters
 //	GET /v1/metrics?tenant=T         — T's per-tenant stream_* metrics
+//	GET /v1/health                   — readiness: per-tenant health states
+//	                                   (503 when any tenant is unhealthy)
+//	GET /v1/slo?tenant=T             — T's windowed SLO numbers
 //
 // Answers come from stream.Replica.Answer, a mutex-held snapshot, so
-// queries are safe (and meaningful) while frames keep applying.
+// queries are safe (and meaningful) while frames keep applying. Every
+// request is wrapped in withRequestLog: one structured slog line plus the
+// sinkd_http_requests_total / sinkd_http_request_seconds series.
 package sinkd
 
 import (
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"ken/internal/query"
 	"ken/internal/stream"
@@ -46,7 +53,40 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/tenants", d.handleTenants)
 	mux.HandleFunc("GET /v1/query", d.handleQuery)
 	mux.HandleFunc("GET /v1/metrics", d.handleMetrics)
-	return mux
+	mux.HandleFunc("GET /v1/health", d.handleHealth)
+	mux.HandleFunc("GET /v1/slo", d.handleSLO)
+	return d.withRequestLog(mux)
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// withRequestLog emits one structured log line per request (method, path,
+// tenant, status, duration) and feeds the HTTP request metrics.
+func (d *Daemon) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		d.mHTTP.Inc()
+		d.tHTTP.Observe(elapsed)
+		slog.Info("http",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"tenant", r.URL.Query().Get("tenant"),
+			"status", rec.status,
+			"duration", elapsed,
+		)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -123,6 +163,39 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, snap)
+}
+
+// handleHealth is the readiness probe: 200 with the full report while
+// every tenant is ok (clean closes included), 503 with the same payload
+// the moment any tenant is degraded, stale, shedding or failed — a probe
+// can act on the status code alone, the reasons are in the body.
+func (d *Daemon) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	d.mQueries.Inc()
+	rep := d.Health()
+	if rep.Status != "ok" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (d *Daemon) handleSLO(w http.ResponseWriter, r *http.Request) {
+	d.mQueries.Inc()
+	name := r.URL.Query().Get("tenant")
+	if name == "" {
+		http.Error(w, "missing tenant parameter", http.StatusBadRequest)
+		return
+	}
+	st, ok := d.SLO(name)
+	if !ok {
+		http.Error(w, "unknown tenant "+strconv.Quote(name), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, st)
 }
 
 // parseAttrs parses the comma-separated attrs= list; empty means all.

@@ -23,6 +23,7 @@ import (
 
 	"ken/internal/deploy"
 	"ken/internal/obs"
+	"ken/internal/slo"
 	"ken/internal/stream"
 	"ken/internal/wire"
 )
@@ -46,10 +47,15 @@ type Config struct {
 	Pin *deploy.Params
 	// Obs receives the daemon-wide metrics (sinkd_* series).
 	Obs *obs.Observer
+	// SLO polices the live monitor's health thresholds (internal/slo).
+	// The zero value takes the slo defaults; QueueCap is always overridden
+	// with FrameBudget and Obs with the daemon's observer.
+	SLO slo.Config
 
-	// applyDelay slows every frame apply; a test hook for exercising the
-	// backpressure path deterministically.
-	applyDelay time.Duration
+	// ApplyDelay slows every frame apply. A fault-injection hook: tests
+	// and ops rehearsals (make sinkd-smoke's degraded leg) use it to
+	// drive the backpressure → shed → degraded-health path on demand.
+	ApplyDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -86,11 +92,19 @@ func (s TenantState) terminal() bool {
 	return s == StateClosed || s == StateShed || s == StateFailed
 }
 
+// queued is one decoded frame stamped at enqueue time, so the applier can
+// measure ingest→apply latency for the live SLO monitor.
+type queued struct {
+	f  wire.Frame
+	at int64 // UnixNano when the reader queued the frame
+}
+
 // tenant is one deployment session and its replica.
 type tenant struct {
 	name   string
 	params deploy.Params
 	remote string
+	mon    *slo.Monitor // the daemon's live monitor (nil-safe)
 
 	mu      sync.Mutex
 	state   TenantState
@@ -98,19 +112,37 @@ type tenant struct {
 	replica *stream.Replica // nil until built
 	reg     *obs.Registry   // per-tenant stream_* metrics
 
-	frames chan wire.Frame
+	frames chan queued
+}
+
+// lifecycleOf maps the session state machine onto the monitor's coarser
+// lifecycle.
+func lifecycleOf(s TenantState) slo.Lifecycle {
+	switch s {
+	case StateClosed:
+		return slo.LifeClosed
+	case StateShed:
+		return slo.LifeShed
+	case StateFailed:
+		return slo.LifeFailed
+	default:
+		return slo.LifeActive
+	}
 }
 
 // setState advances the lifecycle; terminal states are sticky so a late
-// applier error cannot overwrite the shed/closed verdict.
+// applier error cannot overwrite the shed/closed verdict. The live
+// monitor is notified after the tenant lock is released.
 func (t *tenant) setState(s TenantState, detail string) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.state.terminal() {
+		t.mu.Unlock()
 		return
 	}
 	t.state = s
 	t.detail = detail
+	t.mu.Unlock()
+	t.mon.NoteLifecycle(t.name, lifecycleOf(s))
 }
 
 func (t *tenant) snapshot() (TenantState, string) {
@@ -138,6 +170,11 @@ type Daemon struct {
 	closed  bool
 	wg      sync.WaitGroup
 
+	// Live SLO monitoring: appliers publish into feed (bounded,
+	// drop-counting), monitor consumes it on a joined goroutine.
+	monitor *slo.Monitor
+	feed    *slo.Feed
+
 	// Daemon-wide metrics (per-tenant stream_* series live in each
 	// tenant's own registry, served via the HTTP API).
 	mSessions *obs.Counter // sinkd_sessions_total
@@ -148,6 +185,8 @@ type Daemon struct {
 	mShed     *obs.Counter // sinkd_tenants_shed_total
 	mQueries  *obs.Counter // sinkd_queries_total
 	gTenants  *obs.Gauge   // sinkd_tenants_registered
+	mHTTP     *obs.Counter // sinkd_http_requests_total
+	tHTTP     *obs.Timer   // sinkd_http_request_seconds
 }
 
 // New assembles a daemon. Serve starts it; Close tears it down.
@@ -158,12 +197,18 @@ func New(cfg Config) *Daemon {
 		// reject totals are part of the daemon's behavioural contract.
 		cfg.Obs = &obs.Observer{Reg: obs.NewRegistry()}
 	}
+	cfg.SLO.QueueCap = cfg.FrameBudget
+	cfg.SLO.Obs = cfg.Obs
+	monitor := slo.NewMonitor(cfg.SLO)
+	monitor.Start()
 	reg := cfg.Obs.Registry()
 	return &Daemon{
 		cfg:       cfg,
 		tenants:   map[string]*tenant{},
 		builds:    map[string]*buildEntry{},
 		conns:     map[net.Conn]struct{}{},
+		monitor:   monitor,
+		feed:      monitor.Feed(),
 		mSessions: reg.Counter("sinkd_sessions_total"),
 		mAccepts:  reg.Counter("sinkd_sessions_accepted_total"),
 		mRejects:  reg.Counter("sinkd_sessions_rejected_total"),
@@ -172,6 +217,8 @@ func New(cfg Config) *Daemon {
 		mShed:     reg.Counter("sinkd_tenants_shed_total"),
 		mQueries:  reg.Counter("sinkd_queries_total"),
 		gTenants:  reg.Gauge("sinkd_tenants_registered"),
+		mHTTP:     reg.Counter("sinkd_http_requests_total"),
+		tHTTP:     reg.Timer("sinkd_http_request_seconds"),
 	}
 }
 
@@ -219,6 +266,7 @@ func (d *Daemon) Close() {
 		_ = c.Close()
 	}
 	d.wg.Wait()
+	d.monitor.Close()
 }
 
 // reject answers a handshake (or sheds a stream) with a typed REJECT and
@@ -329,12 +377,14 @@ func (d *Daemon) register(name string, p deploy.Params, remote string) (*tenant,
 		name:   name,
 		params: p,
 		remote: remote,
+		mon:    d.monitor,
 		state:  StateBuilding,
 		reg:    obs.NewRegistry(),
-		frames: make(chan wire.Frame, d.cfg.FrameBudget),
+		frames: make(chan queued, d.cfg.FrameBudget),
 	}
 	d.tenants[name] = tn
 	d.gTenants.Set(float64(len(d.tenants)))
+	d.monitor.Track(name)
 	return tn, 0, ""
 }
 
@@ -377,21 +427,48 @@ func (d *Daemon) build(p deploy.Params) (*deploy.Deployment, error) {
 func (d *Daemon) applyLoop(tn *tenant, replica *stream.Replica, done chan<- struct{}) {
 	defer d.wg.Done()
 	defer close(done)
-	for f := range tn.frames {
-		if d.cfg.applyDelay > 0 {
-			time.Sleep(d.cfg.applyDelay)
-		}
-		if err := replica.Apply(f); err != nil {
+	for q := range tn.frames {
+		if err := d.applyFrame(tn, replica, q); err != nil {
 			//lint:ignore hotalloc the failure path formats the terminal state detail once, then the loop exits
-			tn.setState(StateFailed, fmt.Sprintf("applying frame %d: %v", f.Step, err))
+			tn.setState(StateFailed, fmt.Sprintf("applying frame %d: %v", q.f.Step, err))
 			// Drain so the reader never blocks on a dead applier.
 			for range tn.frames {
 			}
 			return
 		}
-		d.mFrames.Inc()
-		d.mValues.Add(int64(len(f.Attrs)))
 	}
+}
+
+// applyFrame folds one queued frame into the replica, measuring pre-apply
+// ε deviations and publishing the apply event into the SLO feed. The feed
+// publish is bounded, non-blocking and allocation-free, so the apply path
+// keeps its 0-alloc budget (TestAllocBudgetSinkdApply) with the monitor
+// attached.
+//
+//ken:hotpath the sink daemon's per-frame apply
+func (d *Daemon) applyFrame(tn *tenant, replica *stream.Replica, q queued) error {
+	if d.cfg.ApplyDelay > 0 {
+		time.Sleep(d.cfg.ApplyDelay)
+	}
+	var st stream.ApplyStats
+	if err := replica.ApplyObserved(q.f, &st); err != nil {
+		return err
+	}
+	d.mFrames.Inc()
+	d.mValues.Add(int64(len(q.f.Attrs)))
+	d.feed.Publish(slo.Event{
+		Tenant:        tn.name,
+		Kind:          slo.KindApply,
+		Step:          st.Step,
+		Values:        st.Values,
+		Heartbeat:     st.Heartbeat,
+		Deviations:    st.Deviations,
+		MaxDevEps:     st.MaxDevEps,
+		EnqueuedNanos: q.at,
+		AppliedNanos:  time.Now().UnixNano(),
+		QueueDepth:    len(tn.frames),
+	})
+	return nil
 }
 
 // stream is the per-tenant ingest loop: a reader goroutine decodes frames
@@ -428,9 +505,14 @@ reader:
 			break // applier failed; stop reading
 		}
 		select {
-		case tn.frames <- f:
+		case tn.frames <- queued{f: f, at: time.Now().UnixNano()}:
 		default:
 			d.mShed.Inc()
+			now := time.Now().UnixNano()
+			d.feed.Publish(slo.Event{
+				Tenant: tn.name, Kind: slo.KindShed, Step: f.Step,
+				EnqueuedNanos: now, AppliedNanos: now, QueueDepth: len(tn.frames),
+			})
 			tn.setState(StateShed, fmt.Sprintf(
 				"outran the %d-frame budget at step %d", d.cfg.FrameBudget, f.Step))
 			d.reject(conn, wire.RejectSlowTenant,
@@ -514,4 +596,64 @@ func (d *Daemon) Metrics(name string) (obs.Snapshot, bool) {
 		return obs.Snapshot{}, false
 	}
 	return t.reg.Snapshot(), true
+}
+
+// SLO returns the named tenant's live windowed SLO status.
+func (d *Daemon) SLO(name string) (slo.TenantStatus, bool) {
+	return d.monitor.Status(name)
+}
+
+// HealthTenant is one tenant's entry in the health report: the session
+// state machine's view (state/detail) joined with the live monitor's
+// windowed verdict.
+type HealthTenant struct {
+	Name    string          `json:"name"`
+	State   TenantState     `json:"state"`
+	Detail  string          `json:"detail,omitempty"`
+	Health  slo.Health      `json:"health"`
+	Reasons []string        `json:"reasons,omitempty"`
+	Window  slo.WindowStats `json:"window"`
+}
+
+// HealthReport is the GET /v1/health payload. Status is "ok" when no
+// tenant is unhealthy (clean closes are benign), "degraded" otherwise —
+// the HTTP layer maps "degraded" to a non-200 so probes and load
+// balancers need no JSON parsing.
+type HealthReport struct {
+	Status    string         `json:"status"`
+	Unhealthy int            `json:"unhealthy"`
+	Tenants   []HealthTenant `json:"tenants"`
+	Feed      slo.FeedStats  `json:"feed"`
+}
+
+// Health evaluates every tenant against the live SLO window and folds the
+// verdicts into one daemon-level readiness answer.
+func (d *Daemon) Health() HealthReport {
+	infos := d.Tenants()
+	byName := make(map[string]slo.TenantStatus, len(infos))
+	for _, st := range d.monitor.StatusAll() {
+		byName[st.Tenant] = st
+	}
+	rep := HealthReport{Status: "ok", Feed: d.monitor.FeedStats()}
+	rep.Tenants = make([]HealthTenant, 0, len(infos))
+	for _, info := range infos {
+		st := byName[info.Name]
+		ht := HealthTenant{
+			Name: info.Name, State: info.State, Detail: info.Detail,
+			Health: st.Health, Reasons: st.Reasons, Window: st.Window,
+		}
+		if st.Health == "" {
+			// Registered but not yet tracked (a register/track race at
+			// admission): report it plainly rather than inventing a verdict.
+			ht.Health = slo.HealthOK
+		}
+		if st.Unhealthy {
+			rep.Unhealthy++
+		}
+		rep.Tenants = append(rep.Tenants, ht)
+	}
+	if rep.Unhealthy > 0 {
+		rep.Status = "degraded"
+	}
+	return rep
 }

@@ -362,7 +362,7 @@ func TestEmptyTenantAssigned(t *testing.T) {
 // daemon sheds the tenant with a typed RejectSlowTenant and the replica
 // stays queryable.
 func TestShedSlowTenant(t *testing.T) {
-	d, addr := newDaemon(t, Config{FrameBudget: 1, applyDelay: 300 * time.Millisecond})
+	d, addr := newDaemon(t, Config{FrameBudget: 1, ApplyDelay: 300 * time.Millisecond})
 	p := deploy.Params{Dataset: "garden", Seed: 1, TestSteps: 3}
 	dep, err := deploy.Build(p)
 	if err != nil {
@@ -422,7 +422,7 @@ func TestShedSlowTenant(t *testing.T) {
 // Close joins every applier goroutine: once it returns the frame counter
 // is quiescent and every tenant has reached a terminal state.
 func TestCloseJoinsAppliersUnderLoad(t *testing.T) {
-	d := New(Config{applyDelay: 20 * time.Millisecond})
+	d := New(Config{ApplyDelay: 20 * time.Millisecond})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,38 @@
+package slo
+
+import (
+	"testing"
+
+	"ken/internal/alloctest"
+)
+
+// TestAllocBudgetFeedPublish pins Feed.Publish — the only slo entry point
+// on the frame-apply hot path — at zero heap allocations, on both the
+// buffered and the full-ring (drop) paths.
+func TestAllocBudgetFeedPublish(t *testing.T) {
+	if alloctest.RaceEnabled {
+		t.Skip("alloc budgets are not meaningful under -race")
+	}
+	f := NewFeed(64)
+	ev := Event{Tenant: "t0", Kind: KindApply, Step: 1, Values: 3}
+
+	var scratch []Event
+	if got := testing.AllocsPerRun(100, func() {
+		f.Publish(ev)
+		scratch = f.DrainInto(scratch[:0])
+	}); got != 0 {
+		t.Errorf("buffered Publish: %v allocs/op, budget 0", got)
+	}
+
+	for i := 0; i < 64; i++ {
+		f.Publish(ev) // fill the ring
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		f.Publish(ev)
+	}); got != 0 {
+		t.Errorf("full-ring Publish (drop path): %v allocs/op, budget 0", got)
+	}
+	if st := f.Stats(); st.Dropped < 100 {
+		t.Fatalf("dropped=%d, want >=100 — drop path not exercised", st.Dropped)
+	}
+}

@@ -307,6 +307,27 @@ func NewReplica(cfg Config) (*Replica, error) {
 // Resolution returns the negotiated wire resolution.
 func (r *Replica) Resolution() float64 { return r.res }
 
+// ApplyStats reports what one frame did to the replica, measured against
+// the pre-apply predictions — the raw material of the live ε audit
+// (internal/slo). A reported value whose prediction was off by more than
+// its end-to-end ε is a deviation: expected for report frames (a report
+// exists because the source's lock-step prediction missed), suspicious
+// for heartbeat values the protocol promises the replica already tracks.
+type ApplyStats struct {
+	// Step is the applied frame's protocol step.
+	Step uint64
+	// Values counts the reported values the frame carried.
+	Values int
+	// Heartbeat marks a full-value heartbeat frame.
+	Heartbeat bool
+	// Deviations counts reported values whose pre-apply prediction
+	// missed the attribute's end-to-end ε.
+	Deviations int
+	// MaxDevEps is the largest |prediction − value| / ε over the frame's
+	// reported values (0 when none, or when ε is unbounded).
+	MaxDevEps float64
+}
+
 // Apply folds one frame into the replica. Frames must arrive in step
 // order; a gap means lost frames and is an error (the transport below is
 // reliable — for lossy transports see core.LossyKen and simnet).
@@ -318,8 +339,24 @@ func (r *Replica) Resolution() float64 { return r.res }
 //
 //ken:hotpath the sink's per-frame apply loop
 func (r *Replica) Apply(f wire.Frame) error {
+	return r.ApplyObserved(f, nil)
+}
+
+// ApplyObserved is Apply plus pre-apply deviation measurement into st
+// (skipped when st is nil). The measurement reads each clique's predicted
+// mean for the step before the frame's values are conditioned in, so it
+// sees exactly what the replica would have answered had the frame never
+// arrived — the live analogue of kenaudit's ε-bound check. st is fully
+// overwritten; the measurement reuses the cliques' mean scratch and
+// allocates nothing.
+//
+//ken:hotpath the sink's per-frame apply loop (measured form)
+func (r *Replica) ApplyObserved(f wire.Frame, st *ApplyStats) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if st != nil {
+		*st = ApplyStats{Step: f.Step, Values: len(f.Attrs), Heartbeat: f.Special == wire.KindHeartbeat}
+	}
 	if f.Step != r.next {
 		return fmt.Errorf("stream: frame for step %d, expected %d", f.Step, r.next)
 	}
@@ -338,6 +375,25 @@ func (r *Replica) Apply(f wire.Frame) error {
 			for i, g := range c.members {
 				if v, ok := r.byAttr[g]; ok {
 					c.obsScratch[i] = v
+				}
+			}
+		}
+		if st != nil && len(c.obsScratch) > 0 && c.mw != nil && c.mw.MeanInto(c.meanBuf) == nil {
+			for i, g := range c.members {
+				v, ok := c.obsScratch[i]
+				if !ok {
+					continue
+				}
+				eps := r.eps[g]
+				if eps <= 0 {
+					continue
+				}
+				dev := math.Abs(c.meanBuf[i]-v) / eps
+				if dev > 1 {
+					st.Deviations++
+				}
+				if dev > st.MaxDevEps {
+					st.MaxDevEps = dev
 				}
 			}
 		}
