@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint fmt-check test race alloc-check cover bench bench-smoke bench-baseline audit-smoke faults-smoke sinkd-smoke figures examples fuzz clean
+.PHONY: all check build vet lint fmt-check test race alloc-check cover bench bench-smoke bench-baseline bench-compare audit-smoke faults-smoke sinkd-smoke figures examples fuzz clean
 
 all: build test
 
@@ -65,6 +65,14 @@ bench-smoke:
 bench-baseline:
 	$(GO) run ./cmd/kenbench -baseline-out . -test 600
 	$(GO) run ./cmd/kenswarm -selfhost -tenants 16 -steps 200 -baseline-out .
+
+# bench-compare re-times the kenbench layer yardsticks against the
+# committed BENCH_{core,engine,stream}.json and fails on a >15%
+# throughput regression, writing the diff to bench-compare.json. CI runs
+# it non-blocking (shared runners jitter) and uploads the report; run it
+# locally before committing anything hot-path adjacent.
+bench-compare:
+	$(GO) run ./cmd/kenbench -baseline-compare . -compare-out bench-compare.json -test 600
 
 # sinkd-smoke proves the multi-tenant daemon end to end with real
 # processes: kensinkd pinned to one deployment, three concurrent kensource

@@ -306,6 +306,43 @@ func BenchmarkAblationConditioning(b *testing.B) {
 	}
 }
 
+// scratchSearchModel hides model.IncrementalConditioner, forcing
+// ChooseReportGreedy onto the from-scratch MeanGiven reference path.
+type scratchSearchModel struct{ model.Model }
+
+// BenchmarkAblationIncrementalSearch compares the greedy report search
+// through the cached incremental conditioning evaluator (grow one Cholesky
+// factor by a row per round) against the from-scratch reference path
+// (refactorize the observed block every round) on the same clique state.
+// Both arms choose identical report sets; only the evaluation cost
+// differs.
+func BenchmarkAblationIncrementalSearch(b *testing.B) {
+	for _, k := range []int{4, 8} {
+		mdl, test, eps := gardenClique(b, k, 200)
+		for i := range eps {
+			eps[i] = 0.05 // tight bounds so the search runs several rounds
+		}
+		mdl.Step()
+		truth := test[0]
+		for _, arm := range []struct {
+			name string
+			m    model.Model
+		}{{"incremental", mdl}, {"scratch", scratchSearchModel{mdl}}} {
+			b.Run(arm.name+"/k="+strconv.Itoa(k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					obs, err := model.ChooseReportGreedy(arm.m, truth, eps)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(obs) == 0 {
+						b.Fatal("empty report set — the search was not exercised")
+					}
+				}
+			})
+		}
+	}
+}
+
 func randomGaussian(b *testing.B, rng *rand.Rand, n int) *gauss.Gaussian {
 	b.Helper()
 	m := mat.NewDense(n, n)

@@ -26,6 +26,111 @@ type baselineResult struct {
 	GoVersion  string  `json:"go_version"`
 }
 
+// compareEntry is one row of a baseline-compare report: a fresh workload
+// measurement against the committed yardstick for the same layer.
+type compareEntry struct {
+	Benchmark      string  `json:"benchmark"`
+	Unit           string  `json:"unit"`
+	BaselinePerSec float64 `json:"baseline_per_sec"`
+	CurrentPerSec  float64 `json:"current_per_sec"`
+	// Ratio is current/baseline: 1.0 is parity, below (1 − threshold)
+	// counts as a regression.
+	Ratio      float64 `json:"ratio"`
+	Regression bool    `json:"regression"`
+}
+
+// compareReport is the schema of the -compare-out JSON artifact.
+type compareReport struct {
+	// Threshold is the tolerated fractional slowdown (0.15 = fail when a
+	// layer runs >15% below its committed baseline).
+	Threshold float64        `json:"threshold"`
+	Pass      bool           `json:"pass"`
+	Results   []compareEntry `json:"results"`
+	// Skipped lists workloads without a committed BENCH_<name>.json in the
+	// compare directory (new layers land before their baseline does).
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+// regressionThreshold is the tolerated fractional slowdown before
+// runBaselineCompare fails. Throughput yardsticks on shared CI runners
+// jitter by a few percent; 15% is far outside that noise while still
+// catching a real O(n) → O(n²) class slip.
+const regressionThreshold = 0.15
+
+// runBaselineCompare re-times the layer workloads and diffs them against
+// the committed BENCH_<name>.json files in dir. Workloads missing a
+// committed baseline are skipped (reported, not failed). A layer more
+// than regressionThreshold slower than its baseline makes the whole run
+// return an error after the full report is written, so CI sees every
+// regression, not just the first.
+func runBaselineCompare(ctx context.Context, dir, out string, cfg bench.Config) error {
+	wls, err := bench.BaselineWorkloads(cfg)
+	if err != nil {
+		return fmt.Errorf("preparing baselines: %w", err)
+	}
+	report := compareReport{Threshold: regressionThreshold, Pass: true}
+	for _, wl := range wls {
+		path := filepath.Join(dir, "BENCH_"+wl.Name+".json")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				report.Skipped = append(report.Skipped, wl.Name)
+				slog.Info("no committed baseline, skipping", "benchmark", wl.Name)
+				continue
+			}
+			return err
+		}
+		var base baselineResult
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		if base.PerSec <= 0 {
+			return fmt.Errorf("%s: non-positive baseline throughput %v", path, base.PerSec)
+		}
+		start := time.Now()
+		count, err := wl.Run(ctx)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", wl.Name, err)
+		}
+		cur := float64(count) / elapsed
+		entry := compareEntry{
+			Benchmark: wl.Name, Unit: wl.Unit,
+			BaselinePerSec: base.PerSec, CurrentPerSec: cur,
+			Ratio:      cur / base.PerSec,
+			Regression: cur < (1-regressionThreshold)*base.PerSec,
+		}
+		if entry.Regression {
+			report.Pass = false
+		}
+		report.Results = append(report.Results, entry)
+		slog.Info("baseline compared", "benchmark", wl.Name,
+			"baseline", fmt.Sprintf("%.0f %s", base.PerSec, wl.Unit),
+			"current", fmt.Sprintf("%.0f %s", cur, wl.Unit),
+			"ratio", fmt.Sprintf("%.2f", entry.Ratio),
+			"regression", entry.Regression)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if !report.Pass {
+		return fmt.Errorf("throughput regression beyond %.0f%% tolerance; see report above", regressionThreshold*100)
+	}
+	return nil
+}
+
 // runBaselines times the prepared layer workloads (core replay, engine
 // cell suite, stream endpoints) and writes BENCH_<name>.json for each
 // into dir. Setup cost is excluded: the workloads are fully prepared

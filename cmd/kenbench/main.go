@@ -69,6 +69,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool width for experiment cells (0 = GOMAXPROCS, 1 = sequential)")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot JSON to this file ('-' for stdout)")
 	baselineOut := flag.String("baseline-out", "", "measure the layer throughput yardsticks and write BENCH_{core,engine,stream}.json into this directory")
+	baselineCompare := flag.String("baseline-compare", "", "re-measure the layer yardsticks and diff against the committed BENCH_*.json in this directory; exits non-zero on a >15% throughput regression")
+	compareOut := flag.String("compare-out", "", "with -baseline-compare, also write the comparison report JSON to this file")
 	var of obs.CmdFlags
 	of.Register(flag.CommandLine)
 	flag.Parse()
@@ -92,8 +94,8 @@ func main() {
 	}
 	cfg.Obs = ob
 
-	if !*all && *fig == 0 && *baselineOut == "" {
-		fmt.Fprintln(os.Stderr, "kenbench: pass -fig N, -all or -baseline-out DIR")
+	if !*all && *fig == 0 && *baselineOut == "" && *baselineCompare == "" {
+		fmt.Fprintln(os.Stderr, "kenbench: pass -fig N, -all, -baseline-out DIR or -baseline-compare DIR")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -145,6 +147,13 @@ func main() {
 	if *baselineOut != "" {
 		if err := runBaselines(ctx, *baselineOut, cfg); err != nil {
 			slog.Error("baseline run failed", "err", err)
+			cleanup()
+			os.Exit(1)
+		}
+	}
+	if *baselineCompare != "" {
+		if err := runBaselineCompare(ctx, *baselineCompare, *compareOut, cfg); err != nil {
+			slog.Error("baseline compare failed", "err", err)
 			cleanup()
 			os.Exit(1)
 		}

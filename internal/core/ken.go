@@ -241,7 +241,13 @@ func (k *Ken) BeginEpoch(sp *obs.Span) { k.span = sp }
 
 // Step implements Scheme: for every clique, advance both replicas, let the
 // source choose the minimal report set, deliver it, and read the sink's
-// answer (§3.2).
+// answer (§3.2). On models implementing model.IncrementalConditioner
+// (LinearGaussian does), the greedy report search runs against the model's
+// cached incremental conditioning evaluator — O(m²) per search round via a
+// growing Cholesky factor instead of a from-scratch refactorization — with
+// transparent fallback to the reference MeanGiven path when the cache goes
+// stale or a pivot degenerates. The evaluator is source-side and read-only,
+// so sink replicas transition identically whether or not it engages.
 //
 // The returned estimate slice is reused across calls — callers that retain
 // it past the next Step must copy (Run does). A fully-suppressed epoch on
@@ -445,6 +451,9 @@ func sortedReportKeys(m map[int]float64) []int {
 }
 
 // chooseReport runs the configured report-set policy on the source model.
+// The greedy default engages the model's incremental conditioning
+// evaluator when available (see model.ChooseReportGreedy); the exhaustive
+// and probabilistic policies use the reference paths.
 func (k *Ken) chooseReport(c *kenClique, local []float64) (map[int]float64, error) {
 	if k.prob != nil {
 		return k.chooseProbabilistic(c, local)

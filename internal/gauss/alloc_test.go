@@ -68,4 +68,35 @@ func TestAllocBudgetGauss(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
+	// The single-observation rank-1 fast path.
+	budget("Predict+ObserveExact1", 0, func() {
+		if err := g.Predict(a, aT, q, ws); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.ObserveExact(idx[:1], vals[:1], ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The incremental conditioning evaluator: reset, grow the cached
+	// factor by two indices, answer twice — the shape of one greedy round.
+	budget("CondReset+CondAdd+CondMeanInto", 0, func() {
+		if err := g.Predict(a, aT, q, ws); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CondReset(ws); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CondAdd(1, 0.5, ws); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CondMeanInto(dst, ws); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CondAdd(3, -0.25, ws); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CondMeanInto(dst, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
 }

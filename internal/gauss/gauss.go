@@ -22,6 +22,12 @@ import (
 // sample and none was supplied.
 var ErrEmpty = errors.New("gauss: empty input")
 
+// ErrNotFinite is returned when an observation value is NaN or ±Inf.
+// Conditioning is irreversible — a non-finite value reaching the mean
+// update would corrupt the distribution permanently — so observations are
+// validated before any state is touched.
+var ErrNotFinite = errors.New("gauss: observation not finite")
+
 // Gaussian is an n-dimensional Gaussian distribution N(mean, cov).
 // The zero value is not usable; construct with New.
 type Gaussian struct {

@@ -77,4 +77,34 @@ func TestAllocBudgetMat(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
+	uv := make([]float64, n)
+	for i := range uv {
+		uv[i] = 0.01 * float64(i+1)
+	}
+	budget("Cholesky.Update+Downdate", 0, func() {
+		if err := ch.Update(uv); err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.Downdate(uv); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Extend from empty back up to order n, entirely within the workspace.
+	col := make([]float64, n)
+	budget("Cholesky.Reset+Extend", 0, func() {
+		ch.Reset()
+		for m := 0; m < n; m++ {
+			cm := col[:m]
+			for i := 0; i < m; i++ {
+				cm[i] = a.At(i, m)
+			}
+			if err := ch.Extend(cm, a.At(m, m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	// Leave the workspace holding a factor of a for any later budgets.
+	if err := ch.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
 }

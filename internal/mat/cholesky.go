@@ -7,11 +7,14 @@ import (
 
 // Cholesky is the lower-triangular factor L of a symmetric positive
 // definite matrix A = L·Lᵀ. It supports solves against vectors and
-// matrices, inversion, and log-determinant — everything Gaussian
-// conditioning needs without ever forming an explicit inverse.
+// matrices, inversion, log-determinant, and rank-1 up/down-dates —
+// everything Gaussian conditioning needs without ever forming an
+// explicit inverse.
 type Cholesky struct {
-	n int
-	l *Dense // lower triangular, upper part zero
+	n     int
+	l     *Dense    // lower triangular, upper part zero
+	work  []float64 // rank-1 update scratch, sized to the workspace order
+	valid bool      // false until a factorisation succeeds; failure poisons
 }
 
 // NewCholesky factorises the symmetric matrix a. Only the lower triangle of
@@ -30,9 +33,11 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 }
 
 // NewCholeskyWorkspace returns a Cholesky sized to factorise matrices of
-// order up to n via Factorize, reusing one backing array across calls.
+// order up to n via Factorize, reusing one backing array across calls. The
+// workspace starts invalid: solves error with ErrSingular until the first
+// successful Factorize (or Reset for incremental Extend-driven builds).
 func NewCholeskyWorkspace(n int) *Cholesky {
-	return &Cholesky{n: n, l: NewDense(n, n)}
+	return &Cholesky{n: n, l: NewDense(n, n), work: make([]float64, n)}
 }
 
 // choleskyJitter is the escalating diagonal jitter ladder tried when the
@@ -44,10 +49,19 @@ var choleskyJitter = [...]float64{1e-12, 1e-10, 1e-8}
 // hot path returns it without allocating.
 var errNotPD = fmt.Errorf("%w: matrix not positive definite", ErrSingular)
 
+// errFactorInvalid is returned by solves against a workspace whose last
+// factorisation failed (or never ran): the factor holds partial writes from
+// the last jitter rung and must not be consulted.
+var errFactorInvalid = fmt.Errorf("%w: factorization invalid (failed or not yet run)", ErrSingular)
+
 // Factorize refactorises c against the symmetric matrix a, reusing c's
 // backing storage; a must fit within the workspace's construction order.
 // The factorisation (jitter ladder included) is bit-identical with
 // NewCholesky's.
+//
+// A failed factorisation leaves the workspace invalid: the factor buffer
+// holds partial writes from the last jitter rung, so every solve returns
+// ErrSingular until the next successful Factorize.
 //
 //ken:hotpath refactorises into the preallocated factor
 func (c *Cholesky) Factorize(a *Dense) error {
@@ -59,8 +73,10 @@ func (c *Cholesky) Factorize(a *Dense) error {
 		return fmt.Errorf("%w: cholesky order %d exceeds workspace capacity %d", ErrDimension, n, cap(c.l.data))
 	}
 	c.n = n
+	c.valid = false
 	c.l.reshape(n, n)
 	if tryCholeskyInto(c.l, a, 0) {
+		c.valid = true
 		return nil
 	}
 	scale := a.MaxAbs()
@@ -69,15 +85,28 @@ func (c *Cholesky) Factorize(a *Dense) error {
 	}
 	for _, eps := range choleskyJitter {
 		if tryCholeskyInto(c.l, a, eps*scale) {
+			c.valid = true
 			return nil
 		}
 	}
 	return errNotPD
 }
 
+// Reset makes c the (trivially valid) factor of the empty 0×0 matrix, the
+// seed state for incremental factor construction via Extend.
+//
+//ken:hotpath resets within preallocated capacity
+func (c *Cholesky) Reset() {
+	c.n = 0
+	c.l.reshape(0, 0)
+	c.valid = true
+}
+
 // tryCholeskyInto attempts the factorisation of a + jitter·I into l, which
 // must match a's order. l is zeroed at entry: a failed earlier attempt
-// leaves partial writes behind.
+// leaves partial writes behind. Non-finite pivots are rejected: a NaN
+// anywhere and a +Inf on the diagonal both poison every later column, and
+// math.Sqrt(+Inf) would otherwise succeed and propagate silently.
 func tryCholeskyInto(l, a *Dense, jitter float64) bool {
 	n := a.rows
 	clear(l.data)
@@ -87,7 +116,7 @@ func tryCholeskyInto(l, a *Dense, jitter float64) bool {
 			ljk := l.data[j*n+k]
 			d -= ljk * ljk
 		}
-		if d <= 0 || math.IsNaN(d) {
+		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
 			return false
 		}
 		ljj := math.Sqrt(d)
@@ -106,11 +135,24 @@ func tryCholeskyInto(l, a *Dense, jitter float64) bool {
 // Size returns the dimension n.
 func (c *Cholesky) Size() int { return c.n }
 
-// L returns a copy of the lower-triangular factor.
-func (c *Cholesky) L() *Dense { return c.l.Clone() }
+// Valid reports whether the workspace holds a usable factor (the last
+// Factorize/Update/Downdate/Extend succeeded).
+func (c *Cholesky) Valid() bool { return c.valid }
+
+// L returns a copy of the lower-triangular factor, or nil when the factor
+// is invalid (the last factorisation failed).
+func (c *Cholesky) L() *Dense {
+	if !c.valid {
+		return nil
+	}
+	return c.l.Clone()
+}
 
 // SolveVec solves A·x = b and returns x.
 func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
+	if !c.valid {
+		return nil, errFactorInvalid
+	}
 	if len(b) != c.n {
 		return nil, fmt.Errorf("%w: solve len %d, want %d", ErrDimension, len(b), c.n)
 	}
@@ -126,6 +168,9 @@ func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
 //
 //ken:hotpath solves in place against the caller's buffer
 func (c *Cholesky) SolveVecInPlace(b []float64) error {
+	if !c.valid {
+		return errFactorInvalid
+	}
 	if len(b) != c.n {
 		return fmt.Errorf("%w: solve len %d, want %d", ErrDimension, len(b), c.n)
 	}
@@ -136,6 +181,9 @@ func (c *Cholesky) SolveVecInPlace(b []float64) error {
 
 // Solve solves A·X = B column-by-column and returns X.
 func (c *Cholesky) Solve(b *Dense) (*Dense, error) {
+	if !c.valid {
+		return nil, errFactorInvalid
+	}
 	if b.rows != c.n {
 		return nil, fmt.Errorf("%w: solve %dx%d against order %d", ErrDimension, b.rows, b.cols, c.n)
 	}
@@ -199,6 +247,9 @@ func (c *Cholesky) Det() float64 { return math.Exp(c.LogDet()) }
 // MulLVec returns L·v, used to transform standard normal samples into
 // samples with covariance A.
 func (c *Cholesky) MulLVec(v []float64) ([]float64, error) {
+	if !c.valid {
+		return nil, errFactorInvalid
+	}
 	if len(v) != c.n {
 		return nil, fmt.Errorf("%w: MulLVec len %d, want %d", ErrDimension, len(v), c.n)
 	}

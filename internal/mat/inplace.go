@@ -34,9 +34,17 @@ func (m *Dense) ReuseAs(rows, cols int) {
 	clear(m.data)
 }
 
+// mulBlock is the tile edge for the blocked multiply: a 64×64 float64
+// tile of b is 32 KiB, comfortably cache-resident while it is reused
+// across every row of a.
+const mulBlock = 64
+
 // MulInto computes a·b into dst, reshaping dst within its capacity. dst
 // must not alias either operand. Bit-identical with Mul, including the
-// exact-zero skip.
+// exact-zero skip: the blocked path taken for large operands visits k in
+// the same ascending order per output element as the naive loop, so the
+// floating-point accumulation order — and therefore the result bits — are
+// unchanged.
 //
 //ken:hotpath multiplies into the preallocated destination
 func (dst *Dense) MulInto(a, b *Dense) error {
@@ -47,6 +55,10 @@ func (dst *Dense) MulInto(a, b *Dense) error {
 		return fmt.Errorf("%w: MulInto destination aliases an operand", ErrDimension)
 	}
 	dst.ReuseAs(a.rows, b.cols)
+	if a.rows >= mulBlock && a.cols >= mulBlock && b.cols >= mulBlock {
+		mulIntoBlocked(dst, a, b)
+		return nil
+	}
 	for i := 0; i < a.rows; i++ {
 		ai := a.data[i*a.cols : (i+1)*a.cols]
 		oi := dst.data[i*dst.cols : (i+1)*dst.cols]
@@ -61,6 +73,65 @@ func (dst *Dense) MulInto(a, b *Dense) error {
 		}
 	}
 	return nil
+}
+
+// mulIntoBlocked is the cache-tiled inner multiply for large operands. It
+// tiles b into mulBlock×mulBlock panels and reuses each panel across all
+// rows of a, bounding the streamed working set regardless of order. Per
+// output element the k-blocks run ascending and k ascends within each
+// block, so every dst entry accumulates over k in exactly the naive loop's
+// order: bit-identical output.
+//
+//ken:hotpath tiled multiply into the preallocated destination
+func mulIntoBlocked(dst, a, b *Dense) {
+	ar, ac, bc := a.rows, a.cols, b.cols
+	for jb := 0; jb < bc; jb += mulBlock {
+		jEnd := jb + mulBlock
+		if jEnd > bc {
+			jEnd = bc
+		}
+		for kb := 0; kb < ac; kb += mulBlock {
+			kEnd := kb + mulBlock
+			if kEnd > ac {
+				kEnd = ac
+			}
+			for i := 0; i < ar; i++ {
+				ai := a.data[i*ac+kb : i*ac+kEnd]
+				oi := dst.data[i*bc+jb : i*bc+jEnd]
+				for dk, aik := range ai {
+					if isZero(aik) {
+						continue
+					}
+					k := kb + dk
+					bk := b.data[k*bc+jb : k*bc+jEnd]
+					for j, bkj := range bk {
+						oi[j] += aik * bkj
+					}
+				}
+			}
+		}
+	}
+}
+
+// CopyFrom copies src into dst element-for-element, reshaping dst within
+// its capacity. The non-allocating counterpart of Clone.
+//
+//ken:hotpath copies into the preallocated destination
+func (dst *Dense) CopyFrom(src *Dense) {
+	dst.reshape(src.rows, src.cols)
+	copy(dst.data, src.data)
+}
+
+// RowView returns row i as a mutable view into m's backing storage — the
+// zero-copy counterpart of Row for kernels that stream whole rows. Writes
+// through the view mutate m; the view is invalidated by reshape/ReuseAs.
+//
+//ken:hotpath returns a view, no copy
+func (m *Dense) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %dx%d", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
 // MulVecInto computes m·v into dst, which must have length m.Rows() and

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -42,9 +43,10 @@ type LinearGaussian struct {
 }
 
 var (
-	_ Model      = (*LinearGaussian)(nil)
-	_ MeanWriter = (*LinearGaussian)(nil)
-	_ Sampler    = (*LinearGaussian)(nil)
+	_ Model                  = (*LinearGaussian)(nil)
+	_ MeanWriter             = (*LinearGaussian)(nil)
+	_ Sampler                = (*LinearGaussian)(nil)
+	_ IncrementalConditioner = (*LinearGaussian)(nil)
 )
 
 // FitConfig controls LinearGaussian learning.
@@ -310,6 +312,55 @@ func (lg *LinearGaussian) MeanGiven(obs map[int]float64) ([]float64, error) {
 		return nil, err
 	}
 	return mat.AddVec(cm, lg.phaseMean()), nil
+}
+
+// Generation returns the model's state mutation counter (bumped by Step
+// and Condition). Cached artifacts derived from the belief state — the
+// incremental conditioning factorization below, sink-side query plans —
+// key on it for invalidation.
+func (lg *LinearGaussian) Generation() uint64 { return lg.ws.Generation() }
+
+// CondReset implements IncrementalConditioner: begin a new hypothetical
+// observed set against the current belief state, rebinding the workspace's
+// cached factorization to the current generation.
+//
+//ken:hotpath resets the evaluator within the instance workspace
+func (lg *LinearGaussian) CondReset() error {
+	return lg.state.CondReset(lg.ws)
+}
+
+// CondAdd implements IncrementalConditioner. The absolute value is
+// converted to residual space (v − seasonal mean), mirroring Condition;
+// the cached observed-block factor grows by one bordered row. A
+// degenerate pivot (zero-variance attribute) errors with the evaluator
+// unchanged — the caller falls back to the from-scratch search, whose
+// jitter ladder absorbs such blocks.
+//
+//ken:hotpath grows the cached factorization in place
+func (lg *LinearGaussian) CondAdd(i int, v float64) error {
+	if i < 0 || i >= lg.n {
+		return fmt.Errorf("%w: observation index %d out of range %d", ErrDim, i, lg.n)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("model: observation %d is not finite: %v", i, v)
+	}
+	return lg.state.CondAdd(i, v-lg.phaseMean()[i], lg.ws)
+}
+
+// CondMeanInto implements IncrementalConditioner: the same answer as
+// MeanGiven on the equivalent map (to numerical tolerance), without
+// mutating the model and without refactorizing.
+//
+//ken:hotpath answers from the cached factorization
+func (lg *LinearGaussian) CondMeanInto(dst []float64) error {
+	if err := lg.state.CondMeanInto(dst, lg.ws); err != nil {
+		return err
+	}
+	p := lg.phaseMean()
+	for i := range dst {
+		dst[i] += p[i]
+	}
+	return nil
 }
 
 // Condition implements Model: collapse the belief on the observed values.

@@ -12,6 +12,14 @@
 // replica on the quantized values it sends, so both replicas stay in
 // bit-exact lock-step, and it runs the protocol at ε − resolution/2 so the
 // end-to-end guarantee remains ±ε.
+//
+// The source's greedy report search runs through the model's cached
+// incremental conditioning evaluator when available (see
+// model.IncrementalConditioner). The evaluator is read-only and exists
+// only on the source side of the search; both replicas still mutate
+// exclusively through Step and Condition on identical inputs, so the
+// bit-exact lock-step invariant is untouched — TestStreamLockStepScratch
+// pins this against a model with the evaluator hidden.
 package stream
 
 import (
